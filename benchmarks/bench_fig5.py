@@ -1,0 +1,47 @@
+"""Fig. 5 — analytical jitter/delay bounds vs simulated maxima.
+
+Paper shape: the analytic bounds dominate the simulated maxima (they
+are worst-case), both families grow with the admitted population, and
+the simulated curves track the analytic ones from below.
+"""
+
+from repro.experiments import fig5, format_table
+
+from conftest import save_artifact
+
+POPULATIONS = ((1, 1), (2, 1), (3, 2), (4, 3))
+
+
+def test_fig5(benchmark):
+    rows = benchmark.pedantic(
+        fig5,
+        kwargs=dict(populations=POPULATIONS, seed=1, sim_time=25.0),
+        rounds=1,
+        iterations=1,
+    )
+    table = [
+        {
+            "voice+video sources": f"{r['n_voice']}+{r['n_video']}",
+            "jitter bound (ms)": r["analytic_max_jitter"] * 1000,
+            "sim max jitter (ms)": r["simulated_max_jitter"] * 1000,
+            "delay bound (ms)": r["analytic_max_delay"] * 1000,
+            "sim max delay (ms)": r["simulated_max_delay"] * 1000,
+        }
+        for r in rows
+    ]
+    save_artifact(
+        "fig5.txt",
+        format_table(
+            table,
+            ["voice+video sources", "jitter bound (ms)", "sim max jitter (ms)",
+             "delay bound (ms)", "sim max delay (ms)"],
+            title="Fig. 5 - analytical bounds vs simulated maxima",
+        ),
+    )
+    for r in rows:
+        # bounds are conservative: simulation never exceeds them
+        assert r["simulated_max_jitter"] <= r["analytic_max_jitter"]
+        assert r["simulated_max_delay"] <= r["analytic_max_delay"]
+    # both bound families grow with the population
+    assert rows[-1]["analytic_max_jitter"] > rows[0]["analytic_max_jitter"]
+    assert rows[-1]["analytic_max_delay"] > rows[0]["analytic_max_delay"]

@@ -1,0 +1,28 @@
+"""Simulator performance — events/second of the full stack.
+
+Not a paper figure: tracks the cost of one evaluation point so sweep
+regressions are visible.  One 10-simulated-second proposed-scheme BSS
+at nominal load.
+"""
+
+from repro.network import BssScenario, ScenarioConfig
+
+
+def one_point():
+    cfg = ScenarioConfig(
+        scheme="proposed",
+        seed=2,
+        sim_time=10.0,
+        warmup=1.0,
+        new_voice_rate=0.3,
+        new_video_rate=0.2,
+        handoff_voice_rate=0.15,
+        handoff_video_rate=0.1,
+        mean_holding=10.0,
+    )
+    return BssScenario(cfg).run()
+
+
+def test_scenario_throughput(benchmark):
+    result = benchmark.pedantic(one_point, rounds=3, iterations=1)
+    assert result["data_delivered"] > 0

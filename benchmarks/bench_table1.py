@@ -1,0 +1,19 @@
+"""Table I — backoff windows of the priority scheme."""
+
+from repro.experiments import render_table1, table1
+
+from conftest import save_artifact
+
+
+def test_table1(benchmark):
+    rows = benchmark(table1, alphas=(4, 4, 8), beta=0, stages=3)
+    by_key = {(r["priority"], r["retry stage"]): r["backoff slots"] for r in rows}
+    # the paper's running example: high 0-3 / low 4-7 initially,
+    # doubling per retry stage, widest window for the lowest class
+    assert by_key[(0, 0)] == "0-3"
+    assert by_key[(1, 0)] == "4-7"
+    assert by_key[(2, 0)] == "8-15"
+    assert by_key[(0, 1)] == "0-7"
+    assert by_key[(1, 1)] == "8-15"
+    assert by_key[(2, 1)] == "16-31"
+    save_artifact("table1.txt", render_table1())

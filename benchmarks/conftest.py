@@ -1,0 +1,47 @@
+"""Shared machinery for the figure-regeneration benchmarks.
+
+The paper's Figs. 6-11 are all projections of one scheme x load sweep,
+so the sweep runs once per benchmark session (session-scoped fixture)
+and each figure's bench projects, validates and renders its own series.
+Rendered tables are also written to ``benchmarks/results/`` so the
+regenerated figures survive pytest's output capture.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.experiments import run_sweep
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: the scaled-down evaluation grid (shapes, not absolute magnitudes)
+SWEEP_SCHEMES = ("proposed", "proposed-multipoll", "conventional")
+SWEEP_LOADS = (0.5, 1.5, 3.0)
+SWEEP_SEEDS = (1, 2, 3)
+SWEEP_SIM_TIME = 80.0
+SWEEP_WARMUP = 8.0
+
+
+@pytest.fixture(scope="session")
+def sweep_rows():
+    """Run the shared evaluation sweep once per benchmark session."""
+    return run_sweep(
+        SWEEP_SCHEMES,
+        loads=SWEEP_LOADS,
+        seeds=SWEEP_SEEDS,
+        sim_time=SWEEP_SIM_TIME,
+        warmup=SWEEP_WARMUP,
+    )
+
+
+def save_artifact(name: str, text: str) -> None:
+    """Persist a rendered table under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / name).write_text(text + "\n")
+    print(f"\n{text}\n[saved to benchmarks/results/{name}]")
+
+
+def by_scheme_load(rows, scheme):
+    """{load: row} for one scheme from an averaged figure table."""
+    return {r["load"]: r for r in rows if r["scheme"] == scheme}

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Handoff protection in a microcell: channel II and the adaptive manager.
+
+A small cell faces a wave of handoff arrivals on top of steady local
+traffic — the situation the paper's channel II (handoff-exclusive
+bandwidth) and adaptive bandwidth allocation are built for.  The
+script tracks the (I, II, III) shares as the controller reacts, then
+compares handoff dropping against the conventional baseline, which has
+no reservation at all.
+
+Usage:  python examples/handoff_microcells.py
+"""
+
+from repro.experiments import format_table
+from repro.network import BssScenario, ScenarioConfig
+
+
+def build(scheme: str) -> BssScenario:
+    config = ScenarioConfig(
+        scheme=scheme,
+        seed=5,
+        sim_time=60.0,
+        warmup=5.0,
+        load=2.0,  # a stressed cell
+        new_voice_rate=0.3,
+        new_video_rate=0.2,
+        handoff_voice_rate=0.12,  # a steady stream of arriving calls
+        handoff_video_rate=0.08,
+        mean_holding=20.0,
+        n_data_stations=3,
+    )
+    return BssScenario(config)
+
+
+def main() -> None:
+    # --- proposed scheme, with a probe on the bandwidth manager -------
+    scenario = build("proposed")
+    shares_log: list[tuple[float, float, float, float]] = []
+    manager = scenario.ap.bandwidth
+    orig_update = manager.update
+
+    def spying_update(drop, block, util):
+        orig_update(drop, block, util)
+        shares_log.append(
+            (scenario.sim.now, manager.share_i, manager.share_ii,
+             manager.share_iii)
+        )
+
+    manager.update = spying_update
+    proposed = scenario.run()
+
+    # --- conventional baseline, identical arrivals ----------------------
+    conventional = build("conventional").run()
+
+    print("adaptive bandwidth shares over time (proposed scheme)")
+    sampled = shares_log[:: max(1, len(shares_log) // 10)]
+    print(
+        format_table(
+            [
+                {"t (s)": t, "channel I": i, "channel II": ii, "channel III": iii}
+                for t, i, ii, iii in sampled
+            ],
+            ["t (s)", "channel I", "channel II", "channel III"],
+        )
+    )
+
+    print("\nhandoff outcome comparison (same arrival sequence)")
+    print(
+        format_table(
+            [
+                {
+                    "scheme": r["scheme"],
+                    "handoff attempts": r["call_attempts_handoff"],
+                    "dropped": r["calls_dropped"],
+                    "dropping prob": r["dropping_probability"],
+                    "new blocked": r["calls_blocked"],
+                    "blocking prob": r["blocking_probability"],
+                }
+                for r in (proposed, conventional)
+            ],
+            ["scheme", "handoff attempts", "dropped", "dropping prob",
+             "new blocked", "blocking prob"],
+        )
+    )
+    print(
+        "\nReading: the proposed scheme trades new-call blocking for"
+        "\nhandoff survival — channel II grows under dropping pressure"
+        "\n(the shares above), so in-progress calls keep their bandwidth"
+        "\nwhile the conventional baseline sheds them like any other call."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""A multimedia hotspot: the paper's headline comparison, end to end.
+
+One BSS carries the paper's 1:1:1 voice:video:data mix at three load
+levels, under all three schemes — the proposed QoS system with single
+polls, the CF-MultiPoll variant, and the conventional 802.11 DCF+PCF.
+Both schemes see identical arrivals (common random numbers), so every
+difference in the table is the protocol's doing.
+
+Expected shape (the paper's Figs. 8-10): near-parity at light load;
+at heavy load the conventional protocol's real-time delays blow up
+while the proposed scheme stays flat — at the price of data traffic,
+which is exactly its lowest priority class.
+
+Usage:  python examples/multimedia_hotspot.py [--quick]
+"""
+
+import sys
+
+from repro.experiments import format_table
+from repro.network import BssScenario, ScenarioConfig
+
+
+def run_cell(scheme: str, load: float, sim_time: float) -> dict:
+    config = ScenarioConfig(
+        scheme=scheme,
+        seed=11,
+        sim_time=sim_time,
+        warmup=min(5.0, sim_time / 6),
+        load=load,
+        new_voice_rate=0.3,
+        new_video_rate=0.2,
+        handoff_voice_rate=0.15,
+        handoff_video_rate=0.1,
+        mean_holding=20.0,
+        n_data_stations=4,
+    )
+    return BssScenario(config).run()
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    sim_time = 20.0 if quick else 60.0
+    loads = (0.5, 2.0) if quick else (0.5, 1.0, 2.0)
+    schemes = ("proposed", "proposed-multipoll", "conventional")
+
+    rows = []
+    for load in loads:
+        for scheme in schemes:
+            r = run_cell(scheme, load, sim_time)
+            rows.append(
+                {
+                    "load": load,
+                    "scheme": scheme,
+                    "voice ms": r["voice_delay_mean"] * 1000,
+                    "video ms": r["video_delay_mean"] * 1000,
+                    "data ms": r["data_delay_mean"] * 1000,
+                    "voice loss": (
+                        r["voice_losses"]
+                        / max(1, r["voice_losses"] + r["voice_delivered"])
+                    ),
+                    "busy": r["channel_busy_fraction"],
+                }
+            )
+            print(f"  done: load={load} {scheme}")
+
+    print()
+    print(
+        format_table(
+            rows,
+            ["load", "scheme", "voice ms", "video ms", "data ms",
+             "voice loss", "busy"],
+            title="Mean access delay by class (identical arrivals per load)",
+        )
+    )
+    print(
+        "\nReading: at heavy load the proposed scheme holds voice/video"
+        "\ndelay roughly flat (tokens + priority polling) while the"
+        "\nconventional protocol degrades; data pays the price instead."
+    )
+
+
+if __name__ == "__main__":
+    main()

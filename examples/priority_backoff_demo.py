@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""MAC-level demo: the partitioned priority backoff and the adaptive CW.
+
+No call layer here — just stations contending on one channel, which
+makes the Section II-A mechanisms directly visible:
+
+1. a handoff-priority station wins the medium against a crowd of
+   data-priority stations essentially every time (Table I windows);
+2. the adaptive contention window tracks the crowd size: the shared
+   policy's total window grows as more saturated stations join.
+
+Usage:  python examples/priority_backoff_demo.py
+"""
+
+from repro.core import AdaptiveCW, PriorityBackoff
+from repro.experiments import format_table, render_table1
+from repro.mac import DcfTransmitter, Frame, FrameType, Nav
+from repro.mac.backoff import LEVEL_HANDOFF, LEVEL_NEW_OR_DATA
+from repro.phy import BitErrorModel, Channel, PhyTiming
+from repro.sim import RandomStreams, Simulator
+
+
+def race(n_low: int, n_races: int = 200) -> float:
+    """Fraction of races the single high-priority station wins against
+    ``n_low`` low-priority stations, all contending simultaneously."""
+    sim = Simulator()
+    timing = PhyTiming()
+    streams = RandomStreams(99)
+    channel = Channel(sim, BitErrorModel(0.0, streams.get("ch")))
+    nav = Nav()
+    policy = PriorityBackoff(alphas=(4, 4, 8))
+
+    stations = {}
+    for sid, level in [("hi", LEVEL_HANDOFF)] + [
+        (f"lo{i}", LEVEL_NEW_OR_DATA) for i in range(n_low)
+    ]:
+        stations[sid] = (
+            DcfTransmitter(
+                sim, channel, timing, policy, streams.get(sid), sid, nav
+            ),
+            level,
+        )
+
+    wins = 0
+    first_success: list[str] = []
+
+    def make_cb(sid):
+        def cb(ok):
+            if ok and not first_success:
+                first_success.append(sid)
+        return cb
+
+    for round_no in range(n_races):
+        first_success.clear()
+        base = sim.now + 0.01
+        for sid, (tx, level) in stations.items():
+            frame = Frame(FrameType.DATA, src=sid, dest="ap", payload_bits=2048)
+            sim.call_at(base, tx.enqueue, frame, level, make_cb(sid))
+        sim.run(until=base + 0.08)
+        if first_success and first_success[0] == "hi":
+            wins += 1
+        sim.run()  # drain the stragglers
+    return wins / n_races
+
+
+def adaptive_window_growth() -> list[dict]:
+    """Saturate an AdaptiveCW policy with growing crowds; report the
+    window it converges to."""
+    rows = []
+    for n in (2, 5, 10, 20):
+        sim = Simulator()
+        timing = PhyTiming()
+        streams = RandomStreams(7)
+        channel = Channel(sim, BitErrorModel(0.0, streams.get("ch")))
+        nav = Nav()
+        policy = AdaptiveCW(timing, update_every=32)
+
+        def refill(tx, sid):
+            frame = Frame(FrameType.DATA, src=sid, dest="ap", payload_bits=8192)
+            tx.enqueue(frame, LEVEL_NEW_OR_DATA, lambda ok: refill(tx, sid))
+
+        for i in range(n):
+            sid = f"s{i}"
+            tx = DcfTransmitter(
+                sim, channel, timing, policy, streams.get(sid), sid, nav
+            )
+            refill(tx, sid)
+        sim.run(until=3.0)
+        rows.append(
+            {
+                "saturated stations": n,
+                "adapted total window (slots)": round(policy.total_window(0)),
+                "estimated busy fraction": round(policy.busy_fraction(), 3),
+            }
+        )
+    return rows
+
+
+def main() -> None:
+    print(render_table1())
+    print("\npriority race: one handoff station vs a data crowd")
+    rows = [
+        {"low-priority rivals": n, "high-priority win rate": race(n)}
+        for n in (1, 4, 8)
+    ]
+    print(format_table(rows, ["low-priority rivals", "high-priority win rate"]))
+
+    print("\nadaptive CW: shared window vs crowd size (saturation)")
+    print(
+        format_table(
+            adaptive_window_growth(),
+            ["saturated stations", "adapted total window (slots)",
+             "estimated busy fraction"],
+        )
+    )
+    print(
+        "\nReading: the handoff station's backoff range sits entirely"
+        "\nbelow the crowd's, so it wins nearly always; and the adaptive"
+        "\nCW expands with the crowd, holding collisions near the"
+        "\ncapacity-optimal point instead of paying one collision per"
+        "\ndoubling like plain BEB."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Quickstart: run one BSS under the proposed QoS scheme and read the results.
+
+This is the smallest end-to-end use of the public API: configure a
+scenario, run it, inspect the QoS metrics the paper's evaluation
+reports.  Takes a few seconds.
+
+Usage:  python examples/quickstart.py [seed]
+"""
+
+import sys
+
+from repro.network import BssScenario, ScenarioConfig
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 1
+
+    config = ScenarioConfig(
+        scheme="proposed",  # the paper's QoS provisioning system
+        seed=seed,
+        sim_time=30.0,  # simulated seconds
+        warmup=3.0,  # transient removal
+        load=1.0,  # nominal offered load
+        new_voice_rate=0.3,  # calls/s
+        new_video_rate=0.2,
+        handoff_voice_rate=0.15,
+        handoff_video_rate=0.1,
+        mean_holding=20.0,  # seconds per admitted call
+        n_data_stations=4,
+    )
+
+    print(f"running: scheme={config.scheme}, load={config.load}, seed={seed}")
+    print(f"offered load ~ {config.offered_load_bps() / 1e6:.2f} Mb/s "
+          f"({config.normalized_load():.0%} of the 11 Mb/s channel)\n")
+
+    results = BssScenario(config).run()
+
+    print("call-level QoS")
+    print(f"  handoff dropping probability : {results['dropping_probability']:.3f}")
+    print(f"  new-call blocking probability: {results['blocking_probability']:.3f}")
+    print(f"  calls admitted (new/handoff) : "
+          f"{results['calls_admitted_new']}/{results['calls_admitted_handoff']}")
+
+    print("packet-level QoS (mean access delay)")
+    for kind in ("voice", "video", "data"):
+        mean = results[f"{kind}_delay_mean"] * 1000
+        var = results[f"{kind}_delay_var"] * 1e6
+        n = results[f"{kind}_delivered"]
+        lost = results[f"{kind}_losses"]
+        print(f"  {kind:5s}: {mean:7.3f} ms  (var {var:9.2f} ms^2, "
+              f"{n} delivered, {lost} lost)")
+
+    print("guarantees")
+    print(f"  worst observed voice jitter  : "
+          f"{results['worst_voice_jitter'] * 1000:.2f} ms "
+          f"(budget 30 ms)")
+    print(f"  worst observed video delay   : "
+          f"{results['worst_video_delay'] * 1000:.2f} ms (budget 50 ms)")
+
+    print("channel")
+    print(f"  busy fraction                : {results['channel_busy_fraction']:.2%}")
+    print(f"  goodput utilization          : {results['goodput_utilization']:.2%}")
+
+
+if __name__ == "__main__":
+    main()

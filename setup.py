@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The metadata lives in pyproject.toml; this file exists so that
+``python setup.py develop`` works on offline machines that lack the
+``wheel`` package required by pip's PEP 660 editable-install path.
+"""
+
+from setuptools import setup
+
+setup()

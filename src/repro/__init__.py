@@ -1,0 +1,21 @@
+"""repro — reproduction of Deng & Yen's IEEE 802.11 QoS provisioning system.
+
+Quality-of-Service Provisioning System for Multimedia Transmission in
+IEEE 802.11 Wireless LANs (IEEE JSAC, 2005), rebuilt from scratch:
+a discrete-event kernel (`repro.sim`), an 802.11 PHY/MAC substrate
+(`repro.phy`, `repro.mac`), traffic models (`repro.traffic`), the
+paper's mechanisms (`repro.core`), the conventional baseline
+(`repro.baseline`), call-level scenarios (`repro.network`) and the
+evaluation harness (`repro.experiments`).
+
+Typical entry point::
+
+    from repro.network import BssScenario, ScenarioConfig
+    results = BssScenario(ScenarioConfig(scheme="proposed")).run()
+"""
+
+__version__ = "1.0.0"
+
+from .network.bss import BssScenario, ScenarioConfig  # noqa: F401
+
+__all__ = ["BssScenario", "ScenarioConfig", "__version__"]

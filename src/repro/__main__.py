@@ -1,0 +1,142 @@
+"""Command-line front end: ``python -m repro <command>``.
+
+Commands
+--------
+tables            print Tables I and II
+quick             run one scenario and print its summary
+fig5              regenerate Fig. 5 (bounds vs simulation)
+sweep             run the Figs. 6-11 sweep and print every series
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    from .experiments import render_table1, render_table2
+
+    print(render_table1())
+    print()
+    print(render_table2())
+    return 0
+
+
+def _cmd_quick(args: argparse.Namespace) -> int:
+    from .network import BssScenario, ScenarioConfig
+
+    cfg = ScenarioConfig(
+        scheme=args.scheme,
+        seed=args.seed,
+        sim_time=args.time,
+        warmup=min(5.0, args.time / 6),
+        load=args.load,
+        new_voice_rate=0.3,
+        new_video_rate=0.2,
+        handoff_voice_rate=0.15,
+        handoff_video_rate=0.1,
+        mean_holding=20.0,
+    )
+    results = BssScenario(cfg).run()
+    for key in sorted(results):
+        if key.startswith("analytic"):
+            continue
+        print(f"{key}: {results[key]}")
+    return 0
+
+
+def _cmd_fig5(args: argparse.Namespace) -> int:
+    from .experiments import fig5, format_table
+
+    rows = fig5(sim_time=args.time, seed=args.seed)
+    table = [
+        {
+            "sources (voice+video)": f"{r['n_voice']}+{r['n_video']}",
+            "jitter bound (ms)": r["analytic_max_jitter"] * 1000,
+            "sim jitter (ms)": r["simulated_max_jitter"] * 1000,
+            "delay bound (ms)": r["analytic_max_delay"] * 1000,
+            "sim delay (ms)": r["simulated_max_delay"] * 1000,
+        }
+        for r in rows
+    ]
+    print(
+        format_table(
+            table,
+            list(table[0].keys()),
+            title="Fig. 5 - analytical bounds vs simulated maxima",
+        )
+    )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .experiments import (
+        FIGURE_METRICS,
+        fig6,
+        fig7,
+        fig8,
+        fig9,
+        fig10,
+        fig11,
+        format_table,
+        run_sweep,
+    )
+
+    rows = run_sweep(
+        ("proposed", "proposed-multipoll", "conventional"),
+        loads=args.loads,
+        seeds=tuple(range(1, args.seeds + 1)),
+        sim_time=args.time,
+        warmup=min(8.0, args.time / 8),
+        progress=lambda msg: print(f"  {msg}", file=sys.stderr),
+    )
+    for name, fn in [
+        ("fig6", fig6), ("fig7", fig7), ("fig8", fig8),
+        ("fig9", fig9), ("fig10", fig10), ("fig11", fig11),
+    ]:
+        table = fn(rows)
+        cols = ["scheme", "load"] + FIGURE_METRICS[name]
+        print()
+        print(format_table(table, cols, title=name))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="802.11 QoS provisioning reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("tables", help="print Tables I and II")
+
+    quick = sub.add_parser("quick", help="run one scenario")
+    quick.add_argument("--scheme", default="proposed",
+                       choices=["proposed", "proposed-multipoll", "conventional"])
+    quick.add_argument("--load", type=float, default=1.0)
+    quick.add_argument("--seed", type=int, default=1)
+    quick.add_argument("--time", type=float, default=30.0)
+
+    f5 = sub.add_parser("fig5", help="regenerate Fig. 5")
+    f5.add_argument("--time", type=float, default=25.0)
+    f5.add_argument("--seed", type=int, default=1)
+
+    sweep = sub.add_parser("sweep", help="run the Figs. 6-11 sweep")
+    sweep.add_argument("--loads", type=float, nargs="+",
+                       default=[0.5, 1.5, 3.0])
+    sweep.add_argument("--seeds", type=int, default=2)
+    sweep.add_argument("--time", type=float, default=60.0)
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "tables": _cmd_tables,
+        "quick": _cmd_quick,
+        "fig5": _cmd_fig5,
+        "sweep": _cmd_sweep,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

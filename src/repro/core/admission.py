@@ -1,0 +1,291 @@
+"""Admission control built on the Theorem 1/3 schedulability tests.
+
+A connection (voice or video, new or handoff) is admitted only if,
+with the candidate inserted at its priority position, **every** already
+admitted source still meets its own bound — Theorem 1 for the voice
+set, Theorem 3 for the video set (voice load feeds into the video
+bounds, so a voice admission rechecks the videos too).
+
+The bandwidth shares implement the paper's note after Theorem 1: the
+per-packet medium time ``T`` is scaled by the share of channel I for
+new real-time calls, and of channels I+II for handoff calls.
+
+Video sources also get their token-regeneration fallback ``x_j``
+engineered here: "to maximize bandwidth utilization one should have x
+as large as possible; the largest x is obtained by solving
+D_bound(x) = D" — i.e. all the slack that the rate-latency bound
+leaves goes into x.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import typing
+
+from ..phy.timing import PhyTiming
+from ..traffic.video import VideoParams
+from ..traffic.voice import VoiceParams
+from .schedulability import (
+    VideoFlow,
+    VoiceFlow,
+    video_delay_bound,
+    video_rate_latency,
+    video_schedulable,
+    voice_schedulable,
+)
+
+__all__ = ["rt_exchange_time", "Session", "AdmissionController"]
+
+_session_ids = itertools.count()
+
+
+def rt_exchange_time(timing: PhyTiming, packet_bits: int) -> float:
+    """Medium time of one polled real-time exchange (the theorems' T).
+
+    CF-Poll + SIFS + CF-Data(packet) + SIFS before the next poll.
+    """
+    return (
+        timing.poll_time()
+        + timing.sifs
+        + timing.frame_airtime(packet_bits)
+        + timing.sifs
+    )
+
+
+@dataclasses.dataclass
+class Session:
+    """One admitted real-time connection."""
+
+    station_id: str
+    params: VoiceParams | VideoParams
+    handoff: bool
+    handoff_time: float
+    #: video only: token regeneration fallback x_j (0 for voice)
+    token_latency: float = 0.0
+    uid: int = dataclasses.field(default_factory=lambda: next(_session_ids))
+
+    @property
+    def is_voice(self) -> bool:
+        return isinstance(self.params, VoiceParams)
+
+
+class ShareProvider(typing.Protocol):
+    """Where the current channel-I/II splits come from (the bandwidth
+    manager, or a fixed stub in tests)."""
+
+    @property
+    def share_i(self) -> float: ...
+
+    @property
+    def share_ii(self) -> float: ...
+
+
+class AdmissionController:
+    """Theorem-based connection admission for one BSS.
+
+    Parameters
+    ----------
+    timing:
+        PHY constants.
+    packet_bits:
+        The fixed real-time MPDU payload (all RT packets equal-sized,
+        per the paper's formalization).
+    shares:
+        Live channel-share provider.
+    """
+
+    def __init__(
+        self,
+        timing: PhyTiming,
+        packet_bits: int,
+        shares: ShareProvider,
+        token_latency_fraction: float = 0.25,
+    ) -> None:
+        if not 0.0 <= token_latency_fraction <= 1.0:
+            raise ValueError(
+                f"token_latency_fraction must be in [0,1], got {token_latency_fraction}"
+            )
+        self.timing = timing
+        self.packet_bits = packet_bits
+        self.shares = shares
+        self.token_latency_fraction = token_latency_fraction
+        self.packet_time = rt_exchange_time(timing, packet_bits)
+        self.voice_sessions: list[Session] = []
+        self.video_sessions: list[Session] = []
+        self.admitted_count = 0
+        self.rejected_count = 0
+
+    # -- flow construction ---------------------------------------------------
+    def _share_for(self, handoff: bool) -> float:
+        if handoff:
+            return min(1.0, self.shares.share_i + self.shares.share_ii)
+        return self.shares.share_i
+
+    def _voice_flows(self, sessions: list[Session]) -> list[VoiceFlow]:
+        return [
+            VoiceFlow(
+                rate=s.params.rate,
+                max_jitter=s.params.max_jitter,
+                handoff_time=s.handoff_time if s.handoff else 0.0,
+                share=self._share_for(s.handoff),
+            )
+            for s in sessions
+        ]
+
+    def _video_flows(self, sessions: list[Session]) -> list[VideoFlow]:
+        return [
+            VideoFlow(
+                avg_rate=s.params.avg_rate,
+                burstiness=s.params.burstiness,
+                max_delay=s.params.max_delay,
+                handoff_time=s.handoff_time if s.handoff else 0.0,
+                share=self._share_for(s.handoff),
+                token_latency=s.token_latency,
+            )
+            for s in sessions
+        ]
+
+    def _violations(
+        self, voice: list[Session], video: list[Session]
+    ) -> set[int]:
+        """UIDs of sessions whose bound fails under the current shares."""
+        vf = self._voice_flows(voice)
+        df = self._video_flows(video)
+        bad: set[int] = set()
+        for s, ok in zip(voice, voice_schedulable(vf, self.packet_time)):
+            if not ok:
+                bad.add(s.uid)
+        for s, ok in zip(video, video_schedulable(vf, df, self.packet_time)):
+            if not ok:
+                bad.add(s.uid)
+        return bad
+
+    def _candidate_acceptable(
+        self,
+        candidate: Session,
+        voice: list[Session],
+        video: list[Session],
+    ) -> bool:
+        """Admit iff the candidate's own bound holds and no previously
+        feasible session becomes infeasible.
+
+        The "previously feasible" qualifier matters: channel shares move
+        under the adaptive bandwidth manager, so a session admitted
+        under yesterday's generous share can read as violated today —
+        that must not poison every future admission decision.
+        """
+        before = self._violations(self.voice_sessions, self.video_sessions)
+        after = self._violations(voice, video)
+        if candidate.uid in after:
+            return False
+        return after - before <= {candidate.uid}
+
+    # -- ordering (Theorem 2 for voice; tightest delay first for video) ------
+    @staticmethod
+    def _voice_position(sessions: list[Session], params: VoiceParams) -> int:
+        return sum(1 for s in sessions if s.params.rate <= params.rate)
+
+    @staticmethod
+    def _video_position(sessions: list[Session], params: VideoParams) -> int:
+        return sum(1 for s in sessions if s.params.max_delay <= params.max_delay)
+
+    # -- public API --------------------------------------------------------------
+    def try_admit_voice(
+        self,
+        station_id: str,
+        params: VoiceParams,
+        handoff: bool = False,
+        handoff_time: float = 0.0,
+    ) -> Session | None:
+        """Admit a voice call if every bound still holds; else None."""
+        pos = self._voice_position(self.voice_sessions, params)
+        candidate = Session(station_id, params, handoff, handoff_time)
+        trial = list(self.voice_sessions)
+        trial.insert(pos, candidate)
+        if not self._candidate_acceptable(candidate, trial, self.video_sessions):
+            self.rejected_count += 1
+            return None
+        self.voice_sessions = trial
+        self.admitted_count += 1
+        return candidate
+
+    def try_admit_video(
+        self,
+        station_id: str,
+        params: VideoParams,
+        handoff: bool = False,
+        handoff_time: float = 0.0,
+    ) -> Session | None:
+        """Admit a video call; engineers its ``x_j`` from the slack."""
+        pos = self._video_position(self.video_sessions, params)
+        candidate = Session(station_id, params, handoff, handoff_time)
+        trial = list(self.video_sessions)
+        trial.insert(pos, candidate)
+        # First check feasibility with x_j = 0 ...
+        if not self._candidate_acceptable(candidate, self.voice_sessions, trial):
+            self.rejected_count += 1
+            return None
+        # ... then hand a configurable fraction of the remaining slack
+        # to x_j (>= one packet time).  Giving x *all* the slack — the
+        # paper's "as large as possible" — pins every admitted video at
+        # exactly its bound and freezes further admissions; the paper
+        # itself backs off from it ("larger x leads to unsmooth video")
+        # by boosting reactivation priority, which we also do.
+        vf = self._voice_flows(self.voice_sessions)
+        df = self._video_flows(trial)
+        bound = video_delay_bound(vf, df, pos, self.packet_time)
+        slack = max(
+            0.0, (params.max_delay - (handoff_time if handoff else 0.0)) - bound
+        )
+        # x_j gets a fraction of the slack, floored at one packet time
+        # when the slack affords it — but never more than the slack
+        # itself, or the session would violate its own bound the moment
+        # it is admitted.
+        floor = min(self.packet_time, slack)
+        candidate.token_latency = max(floor, self.token_latency_fraction * slack)
+        self.video_sessions = trial
+        self.admitted_count += 1
+        return candidate
+
+    def remove(self, session: Session) -> None:
+        """Release a departing session (idempotent)."""
+        for pool in (self.voice_sessions, self.video_sessions):
+            for i, s in enumerate(pool):
+                if s.uid == session.uid:
+                    del pool[i]
+                    return
+
+    # -- analytics exposed for Fig. 5 -----------------------------------------
+    def voice_bounds(self) -> list[float]:
+        """Analytical worst-case response per admitted voice source."""
+        from .schedulability import voice_response_bound
+
+        vf = self._voice_flows(self.voice_sessions)
+        return [
+            voice_response_bound(vf, i, self.packet_time)
+            for i in range(len(vf))
+        ]
+
+    def video_bounds(self) -> list[float]:
+        """Analytical worst-case delay per admitted video source."""
+        vf = self._voice_flows(self.voice_sessions)
+        df = self._video_flows(self.video_sessions)
+        return [
+            video_delay_bound(vf, df, j, self.packet_time)
+            for j in range(len(df))
+        ]
+
+    def utilization_declared(self) -> float:
+        """Declared RT load as a fraction of the medium (for reports)."""
+        rate = sum(s.params.rate for s in self.voice_sessions) + sum(
+            s.params.avg_rate for s in self.video_sessions
+        )
+        return rate * self.packet_time
+
+    def find(self, station_id: str) -> Session | None:
+        """Look up an admitted session by station id."""
+        for s in self.voice_sessions + self.video_sessions:
+            if s.station_id == station_id:
+                return s
+        return None

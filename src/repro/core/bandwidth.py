@@ -1,0 +1,173 @@
+"""The adaptive bandwidth management strategy (paper Section II-C).
+
+The medium is logically partitioned into three channels:
+
+* **channel I** — real-time traffic in the contention-free period;
+* **channel II** — handoff real-time traffic, used *exclusively* and
+  with preemptive priority by handoffs (this is what keeps the handoff
+  dropping probability pinned below its threshold);
+* **channel III** — new requests and data in the contention period,
+  whose share is the guaranteed minimum for best-effort traffic.
+
+The shares feed two places: the admission controller (a new call's
+per-packet time ``T`` is scaled by ``share_i``, a handoff's by
+``share_i + share_ii``) and the AP's CFP budgeting (per superframe the
+CFP may use at most ``(share_i + share_ii)`` of the period, with the
+channel-II part reserved for handoff polls).
+
+``update`` is a line-by-line transcription of the paper's
+``Adaptive Bandwidth Allocation`` pseudocode: dropping probability is
+corrected first (it has priority over blocking), then blocking, and
+only when both sit below their thresholds are the shares relaxed
+toward their floors to hand bandwidth back to data traffic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["BandwidthThresholds", "AdaptiveBandwidthManager"]
+
+
+@dataclasses.dataclass(frozen=True)
+class BandwidthThresholds:
+    """Tunables of the adaptation loop (paper's threshold_* family)."""
+
+    #: threshold_D — acceptable handoff dropping probability
+    drop: float = 0.01
+    #: threshold_B — acceptable new-call blocking probability
+    block: float = 0.05
+    #: eta — "good enough" bandwidth utilization.  Measured as channel
+    #: busy fraction, whose saturation point on this PHY (header + IFS
+    #: overheads included) sits near 0.65; eta defaults just below it.
+    utilization: float = 0.55
+    #: multiplicative expansion factor (paper's "up")
+    up: float = 1.25
+    #: multiplicative decay factor (paper's "down")
+    down: float = 0.9
+    #: threshold_channel_I_max — hard cap of channel I
+    ch1_max: float = 0.6
+    #: threshold_channel_I_medium — cap when utilization is already high
+    ch1_medium: float = 0.5
+    #: threshold_channel_I_min — floor of channel I.  Floors are kept
+    #: high enough that a lightly loaded cell can still admit a
+    #: handoff without waiting for the feedback loop to re-grow the
+    #: channels (the decay branch reclaims idle bandwidth for data,
+    #: not the ability to accept calls).
+    ch1_min: float = 0.2
+    #: threshold_channel_II_max — cap of channel II when utilization high
+    ch2_max: float = 0.25
+    #: threshold_channel_II_min — floor of channel II
+    ch2_min: float = 0.1
+    #: guaranteed minimum share of channel III (data)
+    ch3_min: float = 0.15
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "block", "utilization"):
+            v = getattr(self, name)
+            if not 0.0 <= v <= 1.0:
+                raise ValueError(f"{name} must be in [0,1], got {v}")
+        if self.up <= 1.0:
+            raise ValueError(f"up must be > 1, got {self.up}")
+        if not 0.0 < self.down < 1.0:
+            raise ValueError(f"down must be in (0,1), got {self.down}")
+        if not (0.0 < self.ch1_min <= self.ch1_medium <= self.ch1_max <= 1.0):
+            raise ValueError("need 0 < ch1_min <= ch1_medium <= ch1_max <= 1")
+        if not (0.0 < self.ch2_min <= self.ch2_max <= 1.0):
+            raise ValueError("need 0 < ch2_min <= ch2_max <= 1")
+        if not 0.0 <= self.ch3_min < 1.0:
+            raise ValueError(f"ch3_min must be in [0,1), got {self.ch3_min}")
+
+
+class AdaptiveBandwidthManager:
+    """Feedback controller over the (I, II, III) channel split."""
+
+    def __init__(
+        self,
+        thresholds: BandwidthThresholds | None = None,
+        initial_share_i: float = 0.4,
+        initial_share_ii: float = 0.1,
+    ) -> None:
+        self.thresholds = thresholds or BandwidthThresholds()
+        t = self.thresholds
+        if not t.ch1_min <= initial_share_i <= t.ch1_max:
+            raise ValueError(
+                f"initial_share_i {initial_share_i} outside "
+                f"[{t.ch1_min}, {t.ch1_max}]"
+            )
+        if not t.ch2_min <= initial_share_ii <= t.ch2_max:
+            raise ValueError(
+                f"initial_share_ii {initial_share_ii} outside "
+                f"[{t.ch2_min}, {t.ch2_max}]"
+            )
+        self._share_i = initial_share_i
+        self._share_ii = initial_share_ii
+        #: current cap of channel II; the paper's drop-branch lifts it
+        #: to the whole (III-protected) medium when utilization is low
+        self._ii_cap = t.ch2_max
+        self._clamp()
+        self.updates = 0
+
+    # -- ShareProvider protocol ----------------------------------------------
+    @property
+    def share_i(self) -> float:
+        """Channel I share (real-time, CFP)."""
+        return self._share_i
+
+    @property
+    def share_ii(self) -> float:
+        """Channel II share (handoff real-time, CFP, exclusive)."""
+        return self._share_ii
+
+    @property
+    def share_iii(self) -> float:
+        """Channel III share (new requests + data, CP)."""
+        return 1.0 - self._share_i - self._share_ii
+
+    def _clamp(self) -> None:
+        t = self.thresholds
+        self._share_i = min(max(self._share_i, t.ch1_min), t.ch1_max)
+        self._share_ii = min(max(self._share_ii, t.ch2_min), self._ii_cap)
+        # never squeeze channel III below its guaranteed minimum
+        excess = (self._share_i + self._share_ii) - (1.0 - t.ch3_min)
+        if excess > 0:
+            # shave channel I first (channel II protects handoffs)
+            take = min(excess, self._share_i - t.ch1_min)
+            self._share_i -= take
+            excess -= take
+            if excess > 0:
+                self._share_ii = max(t.ch2_min, self._share_ii - excess)
+
+    def update(
+        self, drop_prob: float, block_prob: float, utilization: float
+    ) -> None:
+        """One adaptation step — the paper's pseudocode verbatim."""
+        for name, v in (
+            ("drop_prob", drop_prob),
+            ("block_prob", block_prob),
+            ("utilization", utilization),
+        ):
+            if not 0.0 <= v <= 1.0:
+                raise ValueError(f"{name} must be in [0,1], got {v}")
+        t = self.thresholds
+        if drop_prob > t.drop:
+            grown = max(self._share_i, self._share_ii) * t.up
+            if utilization < t.utilization:
+                # "min(..., total bandwidth)" — only channel III's floor
+                # limits how far the handoff channel may grow
+                self._ii_cap = 1.0
+                self._share_ii = min(grown, 1.0)
+            else:
+                self._ii_cap = t.ch2_max
+                self._share_ii = min(grown, t.ch2_max)
+        elif block_prob > t.block:
+            if utilization < t.utilization:
+                self._share_i = min(self._share_i * t.up, t.ch1_max)
+            else:
+                self._share_i = min(self._share_i * t.up, t.ch1_medium)
+        elif utilization < t.utilization:
+            self._ii_cap = t.ch2_max
+            self._share_ii = max(self._share_ii * t.down, t.ch2_min)
+            self._share_i = max(self._share_i * t.down, t.ch1_min)
+        self._clamp()
+        self.updates += 1

@@ -1,0 +1,186 @@
+"""Capacity analysis of 802.11 DCF (Bianchi / Cali-Conti-Gregori).
+
+The adaptive-CW mechanism needs three analytical pieces, all from the
+models the paper builds on:
+
+* **Bianchi's fixed point** — per-station attempt probability ``tau``
+  given ``(W, m)`` and conditional failure probability ``p``, with
+  ``p = 1 - (1-tau)^(n-1)`` closing the loop (extended with an
+  independent frame-error probability for noisy channels);
+* **saturation throughput** ``S(n, W, m)`` — used to validate that the
+  "optimal" window really sits at the capacity peak;
+* the **Cali-Conti-Gregori optimum** — balancing expected idle cost
+  against expected collision cost gives the optimal per-slot attempt
+  probability ``p_opt ~ 1/(n*sqrt(T'/2))`` for mean frame duration
+  ``T'`` slots, hence ``CW_opt = 2/p_opt - 1``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..phy.timing import PhyTiming
+
+__all__ = [
+    "bianchi_tau",
+    "failure_probability",
+    "saturation_throughput",
+    "optimal_attempt_probability",
+    "optimal_cw",
+    "estimate_stations",
+]
+
+
+def bianchi_tau(n: int, cw_min: int, max_stage: int, pe: float = 0.0) -> float:
+    """Per-station attempt probability at saturation.
+
+    Solves the Bianchi (2000) fixed point by bisection on ``tau``:
+
+        tau = 2(1-2p) / [ (1-2p)(W+1) + p W (1 - (2p)^m) ]
+        p   = 1 - (1-tau)^(n-1) (1ubsequently combined with ``pe``)
+
+    Parameters
+    ----------
+    n:
+        Number of saturated stations (>= 1).
+    cw_min:
+        Minimum contention window ``W``.
+    max_stage:
+        Number of doubling stages ``m``.
+    pe:
+        Independent frame-error probability folded into ``p``.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if cw_min < 1:
+        raise ValueError(f"cw_min must be >= 1, got {cw_min}")
+    if max_stage < 0:
+        raise ValueError(f"max_stage must be >= 0, got {max_stage}")
+    if not 0.0 <= pe < 1.0:
+        raise ValueError(f"pe must be in [0,1), got {pe}")
+
+    w = float(cw_min)
+    m = max_stage
+
+    def tau_of_p(p: float) -> float:
+        if p == 0.5:
+            # the (1-2p) terms vanish; take the analytic limit
+            return 2.0 / (w + 1 + 0.5 * w * m)
+        num = 2.0 * (1 - 2 * p)
+        den = (1 - 2 * p) * (w + 1) + p * w * (1 - (2 * p) ** m)
+        return num / den
+
+    def p_of_tau(tau: float) -> float:
+        p_coll = 1.0 - (1.0 - tau) ** (n - 1)
+        return 1.0 - (1.0 - p_coll) * (1.0 - pe)
+
+    # g(tau) = tau - tau_of_p(p_of_tau(tau)) is monotone increasing on
+    # (0, 1); bisect.
+    lo, hi = 1e-9, 1.0 - 1e-9
+
+    def g(tau: float) -> float:
+        return tau - tau_of_p(p_of_tau(tau))
+
+    glo = g(lo)
+    if glo > 0:
+        return lo
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if g(mid) > 0:
+            hi = mid
+        else:
+            lo = mid
+    return 0.5 * (lo + hi)
+
+
+def failure_probability(tau: float, n: int, pe: float = 0.0) -> float:
+    """Probability a transmission fails (collision or frame error)."""
+    if not 0.0 <= tau <= 1.0:
+        raise ValueError(f"tau must be in [0,1], got {tau}")
+    p_coll = 1.0 - (1.0 - tau) ** (n - 1)
+    return 1.0 - (1.0 - p_coll) * (1.0 - pe)
+
+
+def saturation_throughput(
+    n: int,
+    tau: float,
+    timing: PhyTiming,
+    payload_bits: int,
+    pe: float = 0.0,
+) -> float:
+    """Normalized saturation throughput (payload fraction of airtime).
+
+    Bianchi's renewal argument: a generic slot is empty w.p.
+    ``(1-tau)^n``, holds a success w.p. ``n tau (1-tau)^(n-1) (1-pe)``,
+    and otherwise holds a collision/error; each outcome has its own
+    duration.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    p_idle = (1.0 - tau) ** n
+    p_tx = 1.0 - p_idle
+    p_succ_given_tx = 0.0
+    if p_tx > 0:
+        p_succ_given_tx = n * tau * (1.0 - tau) ** (n - 1) * (1.0 - pe) / p_tx
+
+    t_success = timing.data_exchange_time(payload_bits) + timing.difs
+    t_failure = (
+        timing.frame_airtime(payload_bits)
+        + timing.sifs
+        + timing.ack_time()
+        + timing.slot
+        + timing.difs
+    )
+    payload_time = payload_bits / timing.data_rate
+
+    num = p_tx * p_succ_given_tx * payload_time
+    den = (
+        p_idle * timing.slot
+        + p_tx * p_succ_given_tx * t_success
+        + p_tx * (1 - p_succ_given_tx) * t_failure
+    )
+    return num / den
+
+
+def optimal_attempt_probability(n: int, frame_slots: float) -> float:
+    """Cali-Conti-Gregori optimum ``p_opt ~ 1/(n*sqrt(T'/2))``.
+
+    ``frame_slots`` is the mean frame transmission time in backoff
+    slots (their ``T'``); the balance of idle vs. collision cost yields
+    this closed form for large ``n``.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if frame_slots <= 0:
+        raise ValueError(f"frame_slots must be > 0, got {frame_slots}")
+    p = 1.0 / (n * math.sqrt(frame_slots / 2.0))
+    return min(1.0, p)
+
+
+def optimal_cw(n: int, frame_slots: float) -> float:
+    """Contention window whose mean backoff realizes ``p_opt``.
+
+    A uniform draw over ``[0, CW)`` attempts with per-slot probability
+    ``2/(CW+1)``; inverting gives ``CW_opt = 2/p_opt - 1``.
+    """
+    p_opt = optimal_attempt_probability(n, frame_slots)
+    return max(1.0, 2.0 / p_opt - 1.0)
+
+
+def estimate_stations(p_busy: float, cw: float) -> float:
+    """Invert ``p = 1 - (1-tau)^(n-1)`` for ``n``.
+
+    ``p_busy`` is the observed probability that a backoff slot is busy
+    (the station's estimate of "someone else transmits"); ``tau`` is
+    approximated from the *current* mean window as ``2/(cw+1)``.
+    Returns a float >= 1 (callers round as needed).
+    """
+    if not 0.0 <= p_busy < 1.0:
+        raise ValueError(f"p_busy must be in [0,1), got {p_busy}")
+    if cw < 1:
+        raise ValueError(f"cw must be >= 1, got {cw}")
+    tau = 2.0 / (cw + 1.0)
+    if p_busy == 0.0 or tau >= 1.0:
+        return 1.0
+    n = 1.0 + math.log(1.0 - p_busy) / math.log(1.0 - tau)
+    return max(1.0, n)

@@ -1,0 +1,100 @@
+"""802.11e-EDCF-style differentiation policies (paper Section II-A).
+
+The paper motivates its contention-window partition by the observation
+(citing Xiao's WCNC'03 study) that "differentiating the initial CW
+size is better than differentiating the IFS in terms of total
+throughput and delay ... the different initial CW size has both the
+function of reducing collisions and providing priorities, whereas the
+arbitration IFS has the function of providing priorities, but can not
+reduce collisions."
+
+These two policies isolate that comparison:
+
+* :class:`CwDifferentiation` — per-level initial windows (smaller =
+  higher priority), common DIFS;
+* :class:`AifsDifferentiation` — one common window for every level,
+  but per-level AIFS surcharges (fewer extra slots = higher priority).
+
+The ablation benchmark races them under identical traffic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mac.backoff import BackoffPolicy
+from ..phy.timing import PhyTiming
+
+__all__ = ["CwDifferentiation", "AifsDifferentiation"]
+
+
+class CwDifferentiation(BackoffPolicy):
+    """EDCF-style per-class CWmin, shared AIFS (= DIFS).
+
+    ``cw_mins`` are the per-level initial windows, highest priority
+    first; windows double per retry stage up to ``cw_max``.  Unlike
+    :class:`~repro.core.priority_backoff.PriorityBackoff`, the ranges
+    *overlap* (every level draws from 0), which is exactly how EDCF
+    differentiates — and why its priority is probabilistic rather than
+    strict.
+    """
+
+    def __init__(
+        self,
+        cw_mins: tuple[int, ...] = (8, 16, 32),
+        cw_max: int = 1024,
+    ) -> None:
+        if not cw_mins or any(w < 1 for w in cw_mins):
+            raise ValueError(f"invalid cw_mins {cw_mins}")
+        if cw_max < max(cw_mins):
+            raise ValueError(f"cw_max {cw_max} below largest cw_min")
+        self.cw_mins = tuple(cw_mins)
+        self.cw_max = cw_max
+
+    def window(self, level: int, stage: int) -> int:
+        if not 0 <= level < len(self.cw_mins):
+            raise ValueError(f"level {level} out of range")
+        if stage < 0:
+            raise ValueError(f"negative stage {stage}")
+        return min(self.cw_mins[level] * (2**stage), self.cw_max)
+
+    def draw_slots(self, level: int, stage: int, rng: np.random.Generator) -> int:
+        return int(rng.integers(0, self.window(level, stage)))
+
+
+class AifsDifferentiation(BackoffPolicy):
+    """EDCF-style per-class AIFS, shared contention window.
+
+    Every level draws from the same ``[0, cw_min * 2**stage)`` window;
+    level ``j`` additionally waits ``aifs_slots[j]`` extra slot times
+    before its counter may run.
+    """
+
+    def __init__(
+        self,
+        timing: PhyTiming,
+        aifs_slots: tuple[int, ...] = (0, 2, 4),
+        cw_min: int = 16,
+        cw_max: int = 1024,
+    ) -> None:
+        if not aifs_slots or any(s < 0 for s in aifs_slots):
+            raise ValueError(f"invalid aifs_slots {aifs_slots}")
+        if cw_min < 1 or cw_max < cw_min:
+            raise ValueError(f"invalid CW bounds [{cw_min}, {cw_max}]")
+        self.timing = timing
+        self.aifs_slots = tuple(aifs_slots)
+        self.cw_min = cw_min
+        self.cw_max = cw_max
+
+    def window(self, stage: int) -> int:
+        if stage < 0:
+            raise ValueError(f"negative stage {stage}")
+        return min(self.cw_min * (2**stage), self.cw_max)
+
+    def extra_ifs(self, level: int) -> float:
+        if not 0 <= level < len(self.aifs_slots):
+            raise ValueError(f"level {level} out of range")
+        return self.aifs_slots[level] * self.timing.slot
+
+    def draw_slots(self, level: int, stage: int, rng: np.random.Generator) -> int:
+        return int(rng.integers(0, self.window(stage)))

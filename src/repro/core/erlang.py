@@ -1,0 +1,64 @@
+"""Erlang loss analysis of the call-admission layer.
+
+With Poisson call arrivals, exponential holding times and
+blocked-calls-cleared admission (exactly what the call generator and
+either AP implement), a single-class cell is an M/M/N/N system: the
+blocking probability is Erlang's B formula.  This gives a closed-form
+cross-check of the whole call-level pipeline — arrivals, admission
+capacity, holding-time departures — independent of the MAC below it
+(`tests/network/test_erlang_validation.py`).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["erlang_b", "erlang_b_inverse_capacity", "offered_load"]
+
+
+def erlang_b(servers: int, offered: float) -> float:
+    """Erlang-B blocking probability for ``servers`` lines and
+    ``offered`` Erlangs.
+
+    Uses the numerically stable recurrence
+    ``B(0) = 1;  B(n) = a*B(n-1) / (n + a*B(n-1))``.
+    """
+    if servers < 0:
+        raise ValueError(f"servers must be >= 0, got {servers}")
+    if offered < 0:
+        raise ValueError(f"offered must be >= 0, got {offered}")
+    if offered == 0:
+        return 0.0
+    b = 1.0
+    for n in range(1, servers + 1):
+        b = offered * b / (n + offered * b)
+    return b
+
+
+def erlang_b_inverse_capacity(offered: float, target_blocking: float) -> int:
+    """Smallest number of servers keeping blocking <= target."""
+    if not 0 < target_blocking < 1:
+        raise ValueError(f"target_blocking must be in (0,1), got {target_blocking}")
+    if offered < 0:
+        raise ValueError(f"offered must be >= 0, got {offered}")
+    n = 0
+    while erlang_b(n, offered) > target_blocking:
+        n += 1
+        if n > 10_000:  # pragma: no cover - absurd input guard
+            raise RuntimeError("capacity search diverged")
+    return n
+
+
+def offered_load(arrival_rate: float, mean_holding: float) -> float:
+    """Offered traffic in Erlangs: ``lambda * holding``."""
+    if arrival_rate < 0 or mean_holding < 0:
+        raise ValueError("arrival_rate and mean_holding must be >= 0")
+    return arrival_rate * mean_holding
+
+
+def erlang_b_exact(servers: int, offered: float) -> float:
+    """Direct-sum Erlang B (for cross-checking the recurrence in tests)."""
+    if offered == 0:
+        return 0.0
+    terms = [offered**n / math.factorial(n) for n in range(servers + 1)]
+    return terms[-1] / sum(terms)

@@ -1,0 +1,199 @@
+"""Theorems 1-3: jitter/delay bounds and the optimal voice order.
+
+These are the paper's analytical guarantees, reconstructed from the
+proof skeletons that survive in the text (see DESIGN.md):
+
+* **Theorem 1 (voice jitter).**  With the voice sources served in
+  priority order and ``T`` the medium time of one polled real-time
+  exchange, the worst-case response for source ``i`` is bounded by
+
+      W_i = T * ( i + delta_i * sum_{k<=i} r_k )
+
+  (each higher-or-equal priority source k contributes at most
+  ``delta_i * r_k + 1`` packets inside a window of length
+  ``delta_i``).  Source ``i`` meets its jitter budget if
+  ``W_i <= phi * (delta_i - t_h)``, where ``phi`` is the bandwidth
+  share available to its class (channel I, or I+II for handoffs,
+  per the paper's note after Theorem 1) and ``t_h`` its handoff
+  latency (0 for new calls).
+
+* **Theorem 2 (optimal voice order).**  Serving voice sources in
+  non-decreasing per-cycle demand (ascending rate — "the smaller the
+  average rate, the higher the priority") minimizes the average
+  waiting time; an SPT exchange argument.
+
+* **Theorem 3 (video delay).**  After the voice sources and the
+  ``j-1`` higher-priority video sources, video ``j`` sees a
+  latency-rate server with
+
+      R_j = phi / T - sum_k r_k - sum_{m<j} rho_m        [packets/s]
+      L_j = (T / phi) * (n_voice + j)                    [seconds]
+
+  and, being ``(rho_j, sigma_j)``-upper constrained, its delay is at
+  most ``L_j + (sigma_j + 1) / R_j``; add the token-regeneration
+  latency ``x_j`` for a source reactivating from idle.  Admission
+  requires the total to stay within ``D_j - t_h``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+__all__ = [
+    "VoiceFlow",
+    "VideoFlow",
+    "voice_response_bound",
+    "voice_schedulable",
+    "video_rate_latency",
+    "video_delay_bound",
+    "video_schedulable",
+    "optimal_voice_order",
+    "total_waiting_time",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class VoiceFlow:
+    """Analytical view of one admitted voice source."""
+
+    rate: float  # r_i, packets/s
+    max_jitter: float  # delta_i, seconds
+    handoff_time: float = 0.0  # t_h, seconds (0 for new calls)
+    share: float = 1.0  # phi, bandwidth fraction of its class
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0 or self.max_jitter <= 0:
+            raise ValueError("rate and max_jitter must be > 0")
+        if self.handoff_time < 0:
+            raise ValueError("handoff_time must be >= 0")
+        if not 0 < self.share <= 1:
+            raise ValueError("share must be in (0, 1]")
+
+
+@dataclasses.dataclass(frozen=True)
+class VideoFlow:
+    """Analytical view of one admitted video source."""
+
+    avg_rate: float  # rho_j, packets/s
+    burstiness: float  # sigma_j, packets
+    max_delay: float  # D_j, seconds
+    handoff_time: float = 0.0
+    share: float = 1.0
+    token_latency: float = 0.0  # x_j, reactivation fallback interval
+
+    def __post_init__(self) -> None:
+        if self.avg_rate <= 0 or self.max_delay <= 0:
+            raise ValueError("avg_rate and max_delay must be > 0")
+        if self.burstiness < 0 or self.handoff_time < 0 or self.token_latency < 0:
+            raise ValueError("burstiness/handoff_time/token_latency must be >= 0")
+        if not 0 < self.share <= 1:
+            raise ValueError("share must be in (0, 1]")
+
+
+# ------------------------------------------------------------------ voice ----
+def voice_response_bound(
+    voices: typing.Sequence[VoiceFlow], index: int, packet_time: float
+) -> float:
+    """Theorem 1's worst-case response time ``W_i`` for ``voices[index]``.
+
+    ``voices`` must already be in service-priority order; ``packet_time``
+    is ``T``, the raw medium time of one polled exchange.
+    """
+    if not 0 <= index < len(voices):
+        raise IndexError(f"index {index} out of range")
+    if packet_time <= 0:
+        raise ValueError(f"packet_time must be > 0, got {packet_time}")
+    flow = voices[index]
+    higher = voices[: index + 1]
+    rate_sum = sum(v.rate for v in higher)
+    raw = packet_time * (len(higher) + flow.max_jitter * rate_sum)
+    return raw / flow.share
+
+
+def voice_schedulable(
+    voices: typing.Sequence[VoiceFlow], packet_time: float
+) -> list[bool]:
+    """Per-source Theorem 1 check, in the given priority order."""
+    return [
+        voice_response_bound(voices, i, packet_time)
+        <= v.max_jitter - v.handoff_time
+        for i, v in enumerate(voices)
+    ]
+
+
+# ------------------------------------------------------------------ video ----
+def video_rate_latency(
+    voices: typing.Sequence[VoiceFlow],
+    videos: typing.Sequence[VideoFlow],
+    index: int,
+    packet_time: float,
+) -> tuple[float, float]:
+    """Theorem 3's service curve ``(R_j, L_j)`` for ``videos[index]``."""
+    if not 0 <= index < len(videos):
+        raise IndexError(f"index {index} out of range")
+    if packet_time <= 0:
+        raise ValueError(f"packet_time must be > 0, got {packet_time}")
+    flow = videos[index]
+    voice_rate = sum(v.rate for v in voices)
+    higher_video = sum(v.avg_rate for v in videos[:index])
+    rate = flow.share / packet_time - voice_rate - higher_video
+    latency = (packet_time / flow.share) * (len(voices) + index + 1)
+    return rate, latency
+
+
+def video_delay_bound(
+    voices: typing.Sequence[VoiceFlow],
+    videos: typing.Sequence[VideoFlow],
+    index: int,
+    packet_time: float,
+) -> float:
+    """Theorem 3's delay bound for ``videos[index]`` (inf if overloaded)."""
+    flow = videos[index]
+    rate, latency = video_rate_latency(voices, videos, index, packet_time)
+    if rate <= 0:
+        return float("inf")
+    return flow.token_latency + latency + (flow.burstiness + 1.0) / rate
+
+
+def video_schedulable(
+    voices: typing.Sequence[VoiceFlow],
+    videos: typing.Sequence[VideoFlow],
+    packet_time: float,
+) -> list[bool]:
+    """Per-source Theorem 3 check, in the given priority order."""
+    return [
+        video_delay_bound(voices, videos, j, packet_time)
+        <= v.max_delay - v.handoff_time
+        for j, v in enumerate(videos)
+    ]
+
+
+# --------------------------------------------------------------- theorem 2 ----
+def optimal_voice_order(
+    voices: typing.Sequence[VoiceFlow],
+) -> list[VoiceFlow]:
+    """Theorem 2's optimal service order: ascending rate.
+
+    "In token buffers for voice sources, the smaller the average rate
+    is, the higher the priority becomes" — the SPT order over per-cycle
+    service demands (which grow with the rate).
+    """
+    return sorted(voices, key=lambda v: v.rate)
+
+
+def total_waiting_time(demands: typing.Sequence[float]) -> float:
+    """Total waiting time of a service order with per-source demands.
+
+    Source ``i`` waits for everything scheduled before it:
+    ``sum_i sum_{k<i} d_k``.  Theorem 2: minimized by ascending
+    ``d_i`` (used by the ablation benchmark and the property tests).
+    """
+    if any(d < 0 for d in demands):
+        raise ValueError("demands must be >= 0")
+    waiting = 0.0
+    acc = 0.0
+    for d in demands:
+        waiting += acc
+        acc += d
+    return waiting

@@ -1,0 +1,303 @@
+"""The packet transmit-permission policy (paper Section II-B).
+
+The AP keeps one *token buffer* per admitted real-time source and runs
+the CFP polls off them:
+
+1. scan the **voice** token buffers in priority order (ascending rate —
+   Theorem 2's optimal order).  Token found → remove it, poll that
+   terminal; if the response carried the piggyback bit, generate the
+   next token ``1/r_i`` after the transmission;
+2. otherwise scan the **video** token buffers (ascending delay bound).
+   Token found → poll, but do **not** remove the token while responses
+   keep the piggyback set (the backlogged burst is drained
+   back-to-back).  A zero piggyback that is not the last (EOF) packet
+   removes the token and regenerates it ``x_j`` later — unless a
+   reactivation request re-arms it first;
+3. no tokens anywhere → end the CFP; the next CFP is announced by
+   observing the earliest pending token regeneration.
+
+The CF-MultiPoll variant gathers up to ``multipoll_size`` token holders
+into a single poll frame.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from ..mac.frames import Frame
+from ..mac.pcf import PollAction
+from ..sim.engine import Simulator, TimerHandle
+from .admission import Session
+
+__all__ = ["TokenState", "TokenPolicy"]
+
+
+class TokenState:
+    """Token buffer of one admitted source."""
+
+    __slots__ = (
+        "session",
+        "has_token",
+        "regen_handle",
+        "polls",
+        "tokens_generated",
+        "last_token_time",
+    )
+
+    def __init__(self, session: Session, now: float = 0.0) -> None:
+        self.session = session
+        self.has_token = True  # a freshly admitted source is pollable
+        self.regen_handle: TimerHandle | None = None
+        self.polls = 0
+        self.tokens_generated = 1
+        #: when the current/most recent token appeared — the anchor of
+        #: the drift-free 1/r pacing clock for voice
+        self.last_token_time = now
+
+    @property
+    def station_id(self) -> str:
+        return self.session.station_id
+
+
+class TokenPolicy:
+    """Token bookkeeping + the CFP scheduling policy built on it.
+
+    Parameters
+    ----------
+    sim:
+        Simulator (token regeneration runs on timers).
+    multipoll_size:
+        1 = classic single CF-Polls; >1 = CF-MultiPoll batches.
+    budget_check:
+        Optional ``fn(session) -> bool`` consulted before polling —
+        the AP's channel-I/II time budgeting hook.
+    drain_interval:
+        Voice token regeneration when the response signalled an actual
+        *backlog*: a source that fell behind catches up at one packet
+        per ``drain_interval`` instead of ``1/r``.  A piggyback that
+        only signals an ongoing-but-currently-drained spurt still
+        paces at ``1/r``.  0 disables draining (always ``1/r``).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        multipoll_size: int = 1,
+        budget_check: typing.Callable[[Session], bool] | None = None,
+        voice_order: str = "ascending",
+        drain_interval: float = 0.0,
+    ) -> None:
+        if multipoll_size < 1:
+            raise ValueError(f"multipoll_size must be >= 1, got {multipoll_size}")
+        if voice_order not in ("ascending", "descending", "arrival"):
+            raise ValueError(
+                "voice_order must be 'ascending' (Theorem 2), 'descending' "
+                f"or 'arrival', got {voice_order!r}"
+            )
+        self.sim = sim
+        self.multipoll_size = multipoll_size
+        self.budget_check = budget_check
+        #: Theorem 2 uses 'ascending'; the others exist for the ablation
+        self.voice_order = voice_order
+        if drain_interval < 0:
+            raise ValueError(f"drain_interval must be >= 0, got {drain_interval}")
+        self.drain_interval = drain_interval
+        #: target head-of-line wait for phase-locked voice polling: the
+        #: next token lands this long after the next expected packet
+        #: arrival (see on_response)
+        self.voice_guard = 0.001
+        #: ascending rate (Theorem 2)
+        self.voice: list[TokenState] = []
+        #: ascending delay bound
+        self.video: list[TokenState] = []
+        self._by_station: dict[str, TokenState] = {}
+        #: fired whenever a token appears (AP hooks CFP scheduling here)
+        self.on_token: typing.Callable[[], None] | None = None
+
+    # -- membership ---------------------------------------------------------
+    def add_session(self, session: Session) -> TokenState:
+        """Create the token buffer for a newly admitted session."""
+        if session.station_id in self._by_station:
+            raise ValueError(f"{session.station_id} already has a token buffer")
+        state = TokenState(session, now=self.sim.now)
+        if session.is_voice:
+            if self.voice_order == "ascending":
+                pos = sum(
+                    1
+                    for s in self.voice
+                    if s.session.params.rate <= session.params.rate
+                )
+            elif self.voice_order == "descending":
+                pos = sum(
+                    1
+                    for s in self.voice
+                    if s.session.params.rate >= session.params.rate
+                )
+            else:  # arrival order
+                pos = len(self.voice)
+            self.voice.insert(pos, state)
+        else:
+            pos = sum(
+                1
+                for s in self.video
+                if s.session.params.max_delay <= session.params.max_delay
+            )
+            self.video.insert(pos, state)
+        self._by_station[session.station_id] = state
+        self._notify()
+        return state
+
+    def remove_session(self, station_id: str) -> None:
+        """Tear down a departing source's token buffer (idempotent)."""
+        state = self._by_station.pop(station_id, None)
+        if state is None:
+            return
+        self._cancel_regen(state)
+        for pool in (self.voice, self.video):
+            if state in pool:
+                pool.remove(state)
+                return
+
+    def get(self, station_id: str) -> TokenState | None:
+        return self._by_station.get(station_id)
+
+    # -- token mechanics ---------------------------------------------------------
+    def _notify(self) -> None:
+        if self.on_token is not None and self.any_token():
+            self.on_token()
+
+    def _cancel_regen(self, state: TokenState) -> None:
+        if state.regen_handle is not None:
+            state.regen_handle.cancel()
+            state.regen_handle = None
+
+    def _schedule_regen(self, state: TokenState, delay: float) -> None:
+        self._cancel_regen(state)
+        state.regen_handle = self.sim.call_in(delay, self._regen_fire, state)
+
+    def _regen_fire(self, state: TokenState) -> None:
+        state.regen_handle = None
+        if not state.has_token:
+            state.has_token = True
+            state.tokens_generated += 1
+            state.last_token_time = self.sim.now
+            self._notify()
+
+    def grant_token(self, station_id: str) -> bool:
+        """Reactivation request received: arm the token immediately."""
+        state = self._by_station.get(station_id)
+        if state is None:
+            return False
+        self._cancel_regen(state)
+        if not state.has_token:
+            state.has_token = True
+            state.tokens_generated += 1
+            state.last_token_time = self.sim.now
+            self._notify()
+        return True
+
+    def any_token(self) -> bool:
+        """Is anything pollable right now?"""
+        return any(s.has_token for s in self.voice) or any(
+            s.has_token for s in self.video
+        )
+
+    def next_token_time(self) -> float:
+        """Earliest pending regeneration ("observe the token buffer of
+        highest priority" for announcing the next CFP); inf if none."""
+        times = [
+            s.regen_handle.time
+            for s in self.voice + self.video
+            if s.regen_handle is not None and not s.regen_handle.cancelled
+        ]
+        return min(times) if times else float("inf")
+
+    # -- CfpScheduler interface ------------------------------------------------------
+    def _eligible(self, state: TokenState) -> bool:
+        if not state.has_token:
+            return False
+        if self.budget_check is not None and not self.budget_check(state.session):
+            return False
+        return True
+
+    def next_action(self, now: float, elapsed: float) -> PollAction | None:
+        batch: list[str] = []
+        for state in self.voice:
+            if len(batch) >= self.multipoll_size:
+                break
+            if self._eligible(state):
+                # voice tokens are consumed at poll time (paper step 1)
+                state.has_token = False
+                state.polls += 1
+                batch.append(state.station_id)
+        if len(batch) < self.multipoll_size:
+            for state in self.video:
+                if len(batch) >= self.multipoll_size:
+                    break
+                if self._eligible(state):
+                    # video tokens persist while the burst drains
+                    state.polls += 1
+                    batch.append(state.station_id)
+        if not batch:
+            return None
+        return PollAction(tuple(batch))
+
+    def on_response(
+        self, station_id: str, frame: Frame | None, ok: bool, now: float
+    ) -> None:
+        """Token bookkeeping after a polled exchange.
+
+        Note: the piggyback bit is honoured even when the frame was
+        corrupted — the AP would otherwise deadlock a backlogged
+        station that believes it is on the polling pipeline (a real AP
+        recovers by re-polling; consuming the bit is the simpler
+        equivalent on a single-BSS simulator).
+        """
+        state = self._by_station.get(station_id)
+        if state is None:
+            return
+        session = state.session
+        if session.is_voice:
+            if frame is not None and frame.piggyback:
+                backlog = bool(frame.info and frame.info.get("backlog"))
+                period = 1.0 / session.params.rate
+                if backlog and self.drain_interval > 0:
+                    # actual queue behind this packet: drain fast
+                    self._schedule_regen(state, self.drain_interval)
+                elif frame.packet is not None:
+                    # Phase-locked pacing: the source emits exactly every
+                    # 1/r, so the next packet arrives at created + 1/r;
+                    # aim the next token a small guard after that.  (The
+                    # 802.11e QoS-control field carries the queue-timing
+                    # feedback this stands on.)  Anchoring to the token
+                    # clock instead would freeze in whatever phase offset
+                    # the spurt's reactivation request happened to have —
+                    # the whole spurt would inherit its start latency.
+                    target = frame.packet.created + period + self.voice_guard
+                    self._schedule_regen(state, max(target - now, self.voice_guard))
+                else:
+                    # CF-Null keepalive: the token fired ahead of the
+                    # packet (or the spurt is ending).  Use the ETA the
+                    # station signalled to land the next token a guard
+                    # past the expected arrival; without one, retry at a
+                    # quarter period.
+                    eta = None
+                    if frame.info:
+                        eta = frame.info.get("next_eta")
+                    if eta is not None:
+                        self._schedule_regen(state, eta + self.voice_guard)
+                    else:
+                        self._schedule_regen(state, period / 4.0)
+            return
+        # video
+        eof = bool(frame is not None and frame.info and frame.info.get("eof"))
+        if frame is not None and frame.piggyback:
+            return  # keep the token; the burst continues
+        state.has_token = False
+        if eof or frame is None:
+            # EOF: the call is over.  Null response: the station has
+            # fallen back to Empty and will send a (class-1) reactivation
+            # request with its next burst — re-polling every x_j here
+            # would only burn CFP time on more nulls.
+            return
+        self._schedule_regen(state, session.token_latency)

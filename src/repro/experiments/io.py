@@ -1,0 +1,82 @@
+"""Result persistence: JSON-lines archives of sweep outputs.
+
+Sweeps are minutes-long; archiving their rows lets figure projections,
+notebooks and regression comparisons re-run instantly.  The format is
+one JSON object per line plus a manifest header line (format version,
+package version), so archives stay diff-able and appendable.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import typing
+
+__all__ = ["save_results", "load_results", "merge_results"]
+
+_FORMAT = 1
+
+
+def _jsonable(value: typing.Any) -> typing.Any:
+    """Coerce numpy scalars and tuples into plain JSON types."""
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    return value
+
+
+def save_results(
+    rows: typing.Sequence[dict],
+    path: str | pathlib.Path,
+    append: bool = False,
+) -> pathlib.Path:
+    """Write sweep rows to a JSON-lines archive; returns the path."""
+    from .. import __version__
+
+    p = pathlib.Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    mode = "a" if append and p.exists() else "w"
+    with p.open(mode) as fh:
+        if mode == "w":
+            fh.write(
+                json.dumps(
+                    {"_manifest": True, "format": _FORMAT, "repro": __version__}
+                )
+                + "\n"
+            )
+        for row in rows:
+            fh.write(json.dumps(_jsonable(row)) + "\n")
+    return p
+
+
+def load_results(path: str | pathlib.Path) -> list[dict]:
+    """Read a JSON-lines archive back into sweep rows."""
+    p = pathlib.Path(path)
+    rows: list[dict] = []
+    with p.open() as fh:
+        first = fh.readline()
+        if not first:
+            return rows
+        header = json.loads(first)
+        if not header.get("_manifest"):
+            rows.append(header)  # headerless legacy file: keep the row
+        elif header.get("format") != _FORMAT:
+            raise ValueError(
+                f"unsupported archive format {header.get('format')!r}"
+            )
+        for line in fh:
+            line = line.strip()
+            if line:
+                rows.append(json.loads(line))
+    return rows
+
+
+def merge_results(paths: typing.Iterable[str | pathlib.Path]) -> list[dict]:
+    """Concatenate several archives (e.g. per-scheme shards)."""
+    merged: list[dict] = []
+    for p in paths:
+        merged.extend(load_results(p))
+    return merged

@@ -1,0 +1,63 @@
+"""Regeneration of the paper's Tables I and II."""
+
+from __future__ import annotations
+
+from ..core.priority_backoff import PriorityBackoff
+from .config import TABLE2
+
+__all__ = ["table1", "table2", "render_table1", "render_table2"]
+
+_LEVEL_NAMES = {
+    0: "real-time handoff requests",
+    1: "admitted inactivated (reactivation) requests",
+    2: "new requests and pure data",
+}
+
+
+def table1(
+    alphas: tuple[int, ...] = (4, 4, 8), beta: int = 0, stages: int = 3
+) -> list[dict]:
+    """Table I: example backoff windows per priority level and stage."""
+    backoff = PriorityBackoff(alphas=alphas, beta=beta)
+    rows = []
+    for entry in backoff.table(stages=stages):
+        lo, hi = entry["range"]
+        rows.append(
+            {
+                "priority": entry["level"],
+                "traffic class": _LEVEL_NAMES.get(
+                    entry["level"], f"level {entry['level']}"
+                ),
+                "retry stage": entry["stage"],
+                "backoff slots": f"{lo}-{hi}",
+            }
+        )
+    return rows
+
+
+def table2() -> list[dict]:
+    """Table II: default simulation attribute values."""
+    return [
+        {"parameter": name, "value": value, "note": note}
+        for name, value, note in TABLE2
+    ]
+
+
+def render_table1(**kw) -> str:
+    from .runner import format_table
+
+    return format_table(
+        table1(**kw),
+        ["priority", "traffic class", "retry stage", "backoff slots"],
+        title="Table I - backoff windows of the priority scheme",
+    )
+
+
+def render_table2() -> str:
+    from .runner import format_table
+
+    return format_table(
+        table2(),
+        ["parameter", "value", "note"],
+        title="Table II - default simulation attribute values",
+    )

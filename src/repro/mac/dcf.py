@@ -1,0 +1,371 @@
+"""The DCF engine: CSMA/CA with a pluggable backoff policy.
+
+One :class:`DcfTransmitter` serves one station's contention-period
+traffic.  It is event-driven (no per-slot events): when the medium goes
+idle the remaining backoff is scheduled as a single timer; when the
+medium goes busy the timer is cancelled and the elapsed whole slots are
+subtracted — the standard freeze-and-resume semantics, which the paper
+points out also auto-promotes stations that have waited long.
+
+Faithful-to-the-paper simplifications (single BSS, all stations in
+range):
+
+* the ACK a receiver would send is put on the air by the engine itself
+  SIFS after a correctly received frame — behaviourally identical on a
+  broadcast medium and it spares every station a full receive path;
+* EIFS is not modelled (the paper never mentions it); a failed exchange
+  defers for the ACK-timeout and re-contends with a doubled window.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import typing
+
+import numpy as np
+
+from ..phy.channel import Channel, ChannelListener, TxOutcome
+from ..phy.timing import PhyTiming
+from ..sim.engine import Simulator, TimerHandle
+from .backoff import BackoffPolicy
+from .frames import Frame, FrameType
+from .nav import Nav
+
+__all__ = ["DcfTransmitter", "DcfStats"]
+
+#: slack added when converting elapsed time to whole slots, to absorb
+#: float rounding (fraction of one slot)
+_SLOT_EPSILON = 1e-6
+
+
+@dataclasses.dataclass
+class DcfStats:
+    """Counters exposed for tests and metrics."""
+
+    enqueued: int = 0
+    attempts: int = 0
+    successes: int = 0
+    failures: int = 0  # collided or corrupted attempts
+    drops: int = 0  # frames abandoned after retry_limit
+    idle_slots_observed: int = 0
+    busy_freezes: int = 0
+    rts_handshakes: int = 0
+
+
+@dataclasses.dataclass
+class _Entry:
+    frame: Frame
+    level: int
+    on_done: typing.Callable[[bool], None] | None
+
+
+class DcfTransmitter(ChannelListener):
+    """CSMA/CA contention engine for a single station.
+
+    Parameters
+    ----------
+    sim, channel, timing:
+        Simulation substrate.
+    policy:
+        Backoff policy (standard BEB or the paper's priority scheme).
+    rng:
+        This station's random stream.
+    station_id:
+        Identifier stamped on outgoing frames.
+    nav:
+        The BSS-wide NAV (shared with all other stations).
+    retry_limit:
+        Attempts before a frame is dropped (802.11 long-retry default 7).
+    rts_threshold:
+        DATA frames whose payload exceeds this many bits are protected
+        by an RTS/CTS handshake, so a collision costs only the short
+        RTS instead of the whole frame.  (In this single-BSS model —
+        no hidden terminals, per the paper — that collision-cost
+        reduction is RTS/CTS's only effect.)  Default: disabled.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        channel: Channel,
+        timing: PhyTiming,
+        policy: BackoffPolicy,
+        rng: np.random.Generator,
+        station_id: str,
+        nav: Nav,
+        retry_limit: int = 7,
+        rts_threshold: float = float("inf"),
+    ) -> None:
+        self.sim = sim
+        self.channel = channel
+        self.timing = timing
+        self.policy = policy
+        self.rng = rng
+        self.station_id = station_id
+        self.nav = nav
+        self.retry_limit = retry_limit
+        self.rts_threshold = rts_threshold
+        self.stats = DcfStats()
+
+        self._queue: collections.deque[_Entry] = collections.deque()
+        self._head: _Entry | None = None
+        self._stage = 0
+        self._slots_left: int | None = None
+        self._draw_value = 0
+        self._count_begin: float | None = None
+        self._timer: TimerHandle | None = None
+        self._nav_timer: TimerHandle | None = None
+        self._in_exchange = False
+
+        channel.attach(self)
+
+    # -- public API ----------------------------------------------------------
+    def enqueue(
+        self,
+        frame: Frame,
+        level: int,
+        on_done: typing.Callable[[bool], None] | None = None,
+    ) -> None:
+        """Queue ``frame`` for contention at priority ``level``.
+
+        ``on_done(success)`` fires when the frame is either acknowledged
+        or dropped after the retry limit.
+        """
+        self.stats.enqueued += 1
+        self._queue.append(_Entry(frame, level, on_done))
+        if self._head is None and not self._in_exchange:
+            self._start_next(fresh_arrival=True)
+
+    @property
+    def pending(self) -> int:
+        """Frames waiting (including the one in contention)."""
+        return len(self._queue) + (1 if self._head is not None else 0)
+
+    @property
+    def busy(self) -> bool:
+        """True while a frame is queued, contending or mid-exchange."""
+        return self._head is not None or bool(self._queue) or self._in_exchange
+
+    def shutdown(self) -> None:
+        """Detach from the channel (departing station)."""
+        self._cancel_timer()
+        if self._nav_timer is not None:
+            self._nav_timer.cancel()
+            self._nav_timer = None
+        self.channel.detach(self)
+
+    # -- contention machinery --------------------------------------------------
+    def _start_next(self, fresh_arrival: bool) -> None:
+        if self._head is not None or not self._queue:
+            return
+        self._head = self._queue.popleft()
+        self._stage = 0
+        now = self.sim.now
+        ifs = self.timing.difs + self.policy.extra_ifs(self._head.level)
+        if (
+            fresh_arrival
+            and not self.channel.is_busy
+            and not self.nav.blocked(now)
+            and self.channel.idle_duration(now) >= ifs - 1e-12
+        ):
+            # 802.11 immediate access: medium already idle for >= DIFS.
+            self._slots_left = 0
+            self._transmit()
+            return
+        self._draw_backoff()
+        self._arm()
+
+    def _draw_backoff(self) -> None:
+        assert self._head is not None
+        self._slots_left = self.policy.draw_slots(
+            self._head.level, min(self._stage, self.policy.max_stage()), self.rng
+        )
+        # the draw's absolute position inside the (possibly partitioned)
+        # window, for positional channel observations
+        self._draw_value = self._slots_left
+
+    def _arm(self) -> None:
+        """Schedule the backoff-completion timer if conditions allow."""
+        if self._head is None or self._slots_left is None or self._timer is not None:
+            return
+        now = self.sim.now
+        if self.channel.is_busy:
+            return  # on_medium_idle will re-arm
+        if self.nav.blocked(now):
+            if self._nav_timer is None:
+                self._nav_timer = self.sim.call_at(self.nav.until, self._nav_expired)
+            return
+        # Slot counting begins DIFS (plus the level's AIFS surcharge,
+        # if the policy differentiates IFS) after the medium went idle —
+        # or now, whichever is later: a frame that arrived mid-idle
+        # cannot claim credit for slots it never observed.
+        ifs = self.timing.difs + self.policy.extra_ifs(self._head.level)
+        begin = max(self.channel.idle_since + ifs, now)
+        self._count_begin = begin
+        self._timer = self.sim.call_at(
+            begin + self._slots_left * self.timing.slot, self._backoff_complete
+        )
+
+    def _nav_expired(self) -> None:
+        self._nav_timer = None
+        self._arm()
+
+    def _cancel_timer(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        self._count_begin = None
+
+    def _consume_elapsed_slots(self, now: float) -> None:
+        """Freeze: subtract the whole slots counted before ``now``."""
+        if self._count_begin is None or self._slots_left is None:
+            return
+        elapsed = now - self._count_begin
+        if elapsed <= 0:
+            consumed = 0
+        else:
+            consumed = int(elapsed / self.timing.slot + _SLOT_EPSILON)
+        consumed = min(consumed, self._slots_left)
+        start = self._draw_value - self._slots_left
+        self._slots_left -= consumed
+        self.stats.idle_slots_observed += consumed
+        self.policy.observe_span(start, start + consumed, interrupted=True)
+
+    # -- channel listener callbacks ----------------------------------------------
+    def on_medium_busy(self, now: float) -> None:
+        if self._timer is None:
+            return
+        # If our own timer is due exactly now (counter hit zero at this
+        # very slot boundary) we are *also* transmitting in this slot:
+        # leave the timer so the collision actually happens.
+        self._consume_elapsed_slots(now)
+        if self._slots_left == 0 and self._timer.time <= now + 1e-15:
+            self._count_begin = None
+            return
+        self.stats.busy_freezes += 1
+        self._cancel_timer()
+
+    def on_medium_idle(self, now: float) -> None:
+        if self._in_exchange:
+            return
+        self._arm()
+
+    def on_frame(self, frame: Frame, ok: bool, now: float) -> None:
+        if not ok:
+            return
+        if frame.ftype == FrameType.BEACON:
+            self.nav.set(now + frame.nav_duration)
+            if self._timer is not None:
+                self._consume_elapsed_slots(now)
+                self._cancel_timer()
+        elif frame.ftype == FrameType.CF_END:
+            self.nav.clear(now)
+            # medium idle callback follows the CF-End and re-arms us
+
+    # -- transmission ------------------------------------------------------------
+    def _backoff_complete(self) -> None:
+        self._timer = None
+        self._count_begin = None
+        if self._slots_left:
+            self.stats.idle_slots_observed += self._slots_left
+            start = self._draw_value - self._slots_left
+            self.policy.observe_span(start, self._draw_value, interrupted=False)
+        self._slots_left = 0
+        self._transmit()
+
+    def _transmit(self) -> None:
+        assert self._head is not None
+        entry = self._head
+        self._in_exchange = True
+        self._slots_left = None
+        self.stats.attempts += 1
+        if (
+            entry.frame.ftype == FrameType.DATA
+            and entry.frame.payload_bits > self.rts_threshold
+        ):
+            self._send_rts(entry)
+        else:
+            self._send_data(entry)
+
+    def _send_data(self, entry: _Entry) -> None:
+        duration = entry.frame.airtime(self.timing)
+        done = self.channel.transmit(entry.frame, duration, sender=self)
+        done.add_callback(lambda ev: self._data_done(ev.value))
+
+    # -- RTS/CTS handshake -------------------------------------------------
+    def _send_rts(self, entry: _Entry) -> None:
+        self.stats.rts_handshakes += 1
+        rts = Frame(FrameType.RTS, src=entry.frame.src, dest=entry.frame.dest)
+        done = self.channel.transmit(rts, rts.airtime(self.timing), sender=self)
+        done.add_callback(lambda ev: self._rts_done(entry, ev.value))
+
+    def _rts_done(self, entry: _Entry, outcome: TxOutcome) -> None:
+        if outcome.ok:
+            self.sim.call_in(self.timing.sifs, self._send_cts, entry)
+        else:
+            # no CTS will arrive; pay only the short CTS timeout
+            cts = Frame(FrameType.CTS, src=entry.frame.dest, dest=entry.frame.src)
+            timeout = self.timing.sifs + cts.airtime(self.timing) + self.timing.slot
+            self.sim.call_in(timeout, self._resolve, False)
+
+    def _send_cts(self, entry: _Entry) -> None:
+        cts = Frame(FrameType.CTS, src=entry.frame.dest, dest=entry.frame.src)
+        done = self.channel.transmit(cts, cts.airtime(self.timing), sender=self)
+
+        def after(ev):
+            if ev.value.ok:
+                self.sim.call_in(self.timing.sifs, self._send_data, entry)
+            else:
+                self._resolve(False)
+
+        done.add_callback(after)
+
+    def _data_done(self, outcome: TxOutcome) -> None:
+        entry = self._head
+        assert entry is not None
+        needs_ack = entry.frame.ftype in (FrameType.DATA, FrameType.REQUEST)
+        if not needs_ack:
+            self._resolve(outcome.ok)
+            return
+        if outcome.ok:
+            # Receiver ACKs after SIFS.  The engine puts the ACK on the
+            # air itself (see module docstring).
+            self.sim.call_in(self.timing.sifs, self._send_ack, entry)
+        else:
+            # No ACK will come; wait the ACK timeout, then recontend.
+            timeout = self.timing.sifs + self.timing.ack_time() + self.timing.slot
+            self.sim.call_in(timeout, self._resolve, False)
+
+    def _send_ack(self, entry: _Entry) -> None:
+        ack = Frame(FrameType.ACK, src=entry.frame.dest, dest=entry.frame.src)
+        done = self.channel.transmit(ack, ack.airtime(self.timing), sender=self)
+        done.add_callback(lambda ev: self._resolve(ev.value.ok))
+
+    def _resolve(self, success: bool) -> None:
+        entry = self._head
+        assert entry is not None
+        self._in_exchange = False
+        self.policy.observe_outcome(success)
+        if success:
+            self.stats.successes += 1
+            self._finish(entry, True)
+            return
+        self.stats.failures += 1
+        self._stage += 1
+        if self._stage >= self.retry_limit:
+            self.stats.drops += 1
+            self._finish(entry, False)
+            return
+        self._draw_backoff()
+        self._arm()
+
+    def _finish(self, entry: _Entry, success: bool) -> None:
+        self._head = None
+        self._stage = 0
+        self._slots_left = None
+        if entry.on_done is not None:
+            entry.on_done(success)
+        # Post-backoff: the next queued frame always contends afresh.
+        if self._queue and self._head is None and not self._in_exchange:
+            self._start_next(fresh_arrival=False)

@@ -1,0 +1,36 @@
+"""Network allocation vector shared by all stations of a BSS.
+
+The beacon that opens a contention-free period announces its maximum
+duration; every DCF station sets its NAV and refrains from contending
+until either the announced time passes or a CF-End frame resets it.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Nav"]
+
+
+class Nav:
+    """A single shared virtual-carrier-sense value."""
+
+    __slots__ = ("until",)
+
+    def __init__(self) -> None:
+        self.until = 0.0
+
+    def set(self, until: float) -> None:
+        """Extend the NAV (never shrinks it except through clear())."""
+        if until > self.until:
+            self.until = until
+
+    def clear(self, now: float) -> None:
+        """CF-End received: medium is contention-ready again."""
+        self.until = now
+
+    def blocked(self, now: float) -> bool:
+        """True while virtual carrier sense forbids contention."""
+        return now < self.until
+
+    def remaining(self, now: float) -> float:
+        """Seconds of NAV left (0 if expired)."""
+        return max(0.0, self.until - now)

@@ -1,0 +1,282 @@
+"""PCF: the contention-free period (CFP) machinery of the access point.
+
+The coordinator seizes the medium PIFS after it goes idle (beating any
+DCF station, whose DIFS is longer), transmits a beacon whose duration
+field sets every station's NAV, then runs a poll/response loop:
+
+    CF-Poll --SIFS--> station response --SIFS--> next poll ... CF-End
+
+The scheduling *policy* (which station to poll next — the heart of the
+paper's transmit-permission scheme, and the baseline's round-robin) is
+supplied by a :class:`CfpScheduler`; the polled stations supply their
+uplink frames through :class:`CfPollable`.  The 802.11e CF-MultiPoll
+variant (one poll frame, several responses SIFS apart) is supported by
+returning several station ids from one scheduling step.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from ..phy.channel import Channel, ChannelListener
+from ..phy.timing import PhyTiming
+from ..sim.engine import Simulator, TimerHandle
+from .frames import BROADCAST, Frame, FrameType
+from .nav import Nav
+
+__all__ = ["CfPollable", "CfpScheduler", "PollAction", "PcfCoordinator", "CfpStats"]
+
+
+class CfPollable(typing.Protocol):
+    """A station the AP can poll during the CFP."""
+
+    def cf_response(self, now: float) -> Frame | None:
+        """Uplink frame to send in response to a poll (None = nothing)."""
+
+
+class CfpScheduler(typing.Protocol):
+    """Decides the polling sequence of one CFP."""
+
+    def next_action(self, now: float, elapsed: float) -> "PollAction | None":
+        """Next station(s) to poll, or ``None`` to end the CFP."""
+
+    def on_response(
+        self, station_id: str, frame: Frame | None, ok: bool, now: float
+    ) -> None:
+        """A polled station answered (or stayed silent / was corrupted)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class PollAction:
+    """One scheduling step: poll these stations (>1 => CF-MultiPoll)."""
+
+    station_ids: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.station_ids:
+            raise ValueError("PollAction needs at least one station")
+
+
+@dataclasses.dataclass
+class CfpStats:
+    """Aggregate CFP accounting."""
+
+    cfps_started: int = 0
+    polls_sent: int = 0
+    multipolls_sent: int = 0
+    responses: int = 0
+    null_responses: int = 0
+    cfp_time: float = 0.0
+
+
+class PcfCoordinator(ChannelListener):
+    """Runs contention-free periods on behalf of the AP.
+
+    Only one CFP can be active at a time; :meth:`start_cfp` arranges
+    the PIFS seize and calls ``on_end`` when the CF-End has left the
+    air.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        channel: Channel,
+        timing: PhyTiming,
+        nav: Nav,
+        ap_id: str,
+        txop_packets: int = 1,
+    ) -> None:
+        if txop_packets < 1:
+            raise ValueError(f"txop_packets must be >= 1, got {txop_packets}")
+        self.sim = sim
+        self.channel = channel
+        self.timing = timing
+        self.nav = nav
+        self.ap_id = ap_id
+        #: HCF-style transmission opportunity: a polled station with a
+        #: backlog (piggyback set) may send up to this many frames,
+        #: SIFS-separated, on a single poll — the 802.11e HCCA TXOP the
+        #: paper's conclusion points at.  1 = classic PCF.
+        self.txop_packets = txop_packets
+        self.stats = CfpStats()
+        self.stations: dict[str, CfPollable] = {}
+
+        self._active = False
+        self._seizing = False
+        self._seize_timer: TimerHandle | None = None
+        self._scheduler: CfpScheduler | None = None
+        self._on_end: typing.Callable[[], None] | None = None
+        self._cfp_start = 0.0
+        self._deadline = 0.0
+        self._deadline_duration = 0.0
+
+        channel.attach(self)
+
+    # -- registration ------------------------------------------------------
+    def register(self, station_id: str, station: CfPollable) -> None:
+        """Make a station pollable."""
+        self.stations[station_id] = station
+
+    def unregister(self, station_id: str) -> None:
+        """Remove a departing station (idempotent)."""
+        self.stations.pop(station_id, None)
+
+    # -- CFP lifecycle --------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        """True from seize request until CF-End completion."""
+        return self._active or self._seizing
+
+    def start_cfp(
+        self,
+        scheduler: CfpScheduler,
+        max_duration: float,
+        on_end: typing.Callable[[], None],
+    ) -> None:
+        """Seize the medium and run one CFP under ``scheduler``."""
+        if self.active:
+            raise RuntimeError("a CFP is already active")
+        if max_duration <= 0:
+            raise ValueError(f"max_duration must be > 0, got {max_duration}")
+        self._scheduler = scheduler
+        self._on_end = on_end
+        self._seizing = True
+        self._deadline_duration = max_duration
+        self._arm_seize()
+
+    def _arm_seize(self) -> None:
+        if not self._seizing or self._seize_timer is not None:
+            return
+        now = self.sim.now
+        if self.channel.is_busy:
+            return  # on_medium_idle re-arms
+        target = max(self.channel.idle_since + self.timing.pifs, now)
+        self._seize_timer = self.sim.call_at(target, self._seized)
+
+    def on_medium_idle(self, now: float) -> None:
+        self._arm_seize()
+
+    def on_medium_busy(self, now: float) -> None:
+        if self._seize_timer is not None:
+            self._seize_timer.cancel()
+            self._seize_timer = None
+
+    def _seized(self) -> None:
+        self._seize_timer = None
+        self._seizing = False
+        self._active = True
+        self._cfp_start = self.sim.now
+        self._deadline = self._cfp_start + self._deadline_duration
+        self.stats.cfps_started += 1
+        beacon = Frame(
+            FrameType.BEACON,
+            src=self.ap_id,
+            dest=BROADCAST,
+            nav_duration=self._deadline_duration,
+        )
+        self.nav.set(self._deadline)
+        done = self.channel.transmit(beacon, beacon.airtime(self.timing), sender=self)
+        done.add_callback(lambda ev: self._schedule_step(self.timing.sifs))
+
+    def _schedule_step(self, gap: float) -> None:
+        self.sim.call_in(gap, self._step)
+
+    def _worst_exchange(self) -> float:
+        """Upper bound on one poll+response exchange, for the budget check."""
+        resp = self.timing.frame_airtime(1500 * 8)
+        return self.timing.poll_time() + 2 * self.timing.sifs + resp
+
+    def _step(self) -> None:
+        assert self._scheduler is not None
+        now = self.sim.now
+        elapsed = now - self._cfp_start
+        end_cost = self.timing.poll_time() + self.timing.sifs
+        over_budget = now + self._worst_exchange() + end_cost > self._deadline
+        action = None
+        if not over_budget:
+            action = self._scheduler.next_action(now, elapsed)
+        if action is None:
+            self._send_cf_end()
+            return
+        missing = [s for s in action.station_ids if s not in self.stations]
+        if missing:
+            raise KeyError(f"poll of unregistered station(s): {missing}")
+        if len(action.station_ids) == 1:
+            self.stats.polls_sent += 1
+            frame = Frame(
+                FrameType.CF_POLL,
+                src=self.ap_id,
+                dest=action.station_ids[0],
+            )
+        else:
+            self.stats.multipolls_sent += 1
+            frame = Frame(
+                FrameType.CF_MULTIPOLL,
+                src=self.ap_id,
+                dest=BROADCAST,
+                poll_list=tuple(action.station_ids),
+            )
+        done = self.channel.transmit(frame, frame.airtime(self.timing), sender=self)
+        remaining = list(action.station_ids)
+        done.add_callback(
+            lambda ev: self.sim.call_in(self.timing.sifs, self._responses, remaining)
+        )
+
+    def _responses(self, remaining: list[str]) -> None:
+        """Collect poll responses, one per SIFS, then schedule next step."""
+        if not remaining:
+            self._schedule_step(0.0)
+            return
+        sid = remaining.pop(0)
+        self._respond_station(sid, remaining, self.txop_packets)
+
+    def _respond_station(
+        self, sid: str, remaining: list[str], burst_left: int
+    ) -> None:
+        station = self.stations.get(sid)
+        frame = station.cf_response(self.sim.now) if station is not None else None
+        assert self._scheduler is not None
+        if frame is None:
+            # No response: the point coordinator reclaims the medium
+            # after PIFS (it has already waited SIFS).
+            self.stats.null_responses += 1
+            self._scheduler.on_response(sid, None, True, self.sim.now)
+            self.sim.call_in(
+                self.timing.pifs - self.timing.sifs, self._responses, remaining
+            )
+            return
+        self.stats.responses += 1
+        done = self.channel.transmit(frame, frame.airtime(self.timing), sender=station)
+        scheduler = self._scheduler
+
+        def finish(ev):
+            scheduler.on_response(sid, frame, ev.value.ok, self.sim.now)
+            # TXOP continuation: a backlogged station keeps the floor,
+            # SIFS-separated, up to the opportunity limit — but only a
+            # real backlog (not a keepalive piggyback) extends it.
+            backlog = bool(frame.info and frame.info.get("backlog"))
+            if burst_left > 1 and frame.piggyback and backlog:
+                self.sim.call_in(
+                    self.timing.sifs, self._respond_station,
+                    sid, remaining, burst_left - 1,
+                )
+            else:
+                self.sim.call_in(self.timing.sifs, self._responses, remaining)
+
+        done.add_callback(finish)
+
+    def _send_cf_end(self) -> None:
+        frame = Frame(FrameType.CF_END, src=self.ap_id, dest=BROADCAST)
+        done = self.channel.transmit(frame, frame.airtime(self.timing), sender=self)
+        done.add_callback(lambda ev: self._finished())
+
+    def _finished(self) -> None:
+        now = self.sim.now
+        self.stats.cfp_time += now - self._cfp_start
+        self.nav.clear(now)
+        self._active = False
+        scheduler, self._scheduler = self._scheduler, None
+        on_end, self._on_end = self._on_end, None
+        if on_end is not None:
+            on_end()

@@ -1,0 +1,6 @@
+"""Measurement: online statistics and scenario-level collectors."""
+
+from .collectors import MetricsCollector
+from .stats import JitterTracker, OnlineStats, WindowedRatio
+
+__all__ = ["OnlineStats", "JitterTracker", "WindowedRatio", "MetricsCollector"]

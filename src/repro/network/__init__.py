@@ -1,0 +1,17 @@
+"""Call-level dynamics, mobility, and full-BSS scenario assembly."""
+
+from .bss import RT_PACKET_BITS, SCHEMES, BssScenario, ScenarioConfig
+from .calls import ActiveCall, CallGenerator, CallMixConfig
+from .mobility import NeighborhoodConfig, NeighborhoodMobility
+
+__all__ = [
+    "CallGenerator",
+    "CallMixConfig",
+    "ActiveCall",
+    "BssScenario",
+    "ScenarioConfig",
+    "SCHEMES",
+    "RT_PACKET_BITS",
+    "NeighborhoodConfig",
+    "NeighborhoodMobility",
+]

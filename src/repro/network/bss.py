@@ -1,0 +1,335 @@
+"""Scenario assembly: one BSS under either scheme, ready to run.
+
+This is the top-level entry point the examples, experiments and
+benchmarks use: configure a :class:`ScenarioConfig`, build a
+:class:`BssScenario`, call :meth:`BssScenario.run`, read the results
+dict.  The three schemes of the paper's evaluation are selectable:
+
+* ``"proposed"`` — the QoS AP with single CF-Polls;
+* ``"proposed-multipoll"`` — the QoS AP with CF-MultiPoll batches;
+* ``"conventional"`` — plain 802.11 DCF + round-robin PCF.
+
+Common-random-number discipline: every stochastic component draws from
+a stream named after its role, so two schemes run with the same seed
+see identical call arrivals, talk spurts, video frame sizes and data
+traffic — paired comparison with no extra variance.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from ..baseline.conventional import ConventionalAccessPoint, ConventionalApConfig
+from ..core.adaptive_cw import AdaptiveCW
+from ..core.bandwidth import AdaptiveBandwidthManager, BandwidthThresholds
+from ..core.priority_backoff import PriorityBackoff
+from ..core.qos_ap import QosAccessPoint, QosApConfig
+from ..mac.backoff import StandardBEB
+from ..mac.dcf import DcfTransmitter
+from ..mac.nav import Nav
+from ..mac.station import DataStation
+from ..metrics.collectors import MetricsCollector
+from ..phy.channel import Channel
+from ..phy.error_model import BitErrorModel
+from ..phy.timing import PhyTiming
+from ..sim.engine import Simulator
+from ..sim.rng import RandomStreams
+from ..traffic.data import PoissonDataSource
+from ..traffic.video import VideoParams
+from ..traffic.voice import VoiceParams
+from .calls import CallGenerator, CallMixConfig
+
+__all__ = ["ScenarioConfig", "BssScenario", "SCHEMES"]
+
+SCHEMES = ("proposed", "proposed-multipoll", "conventional")
+
+#: fixed real-time MPDU payload used throughout the evaluation
+RT_PACKET_BITS = 512 * 8
+
+DEFAULT_VOICE = VoiceParams(rate=25.0, max_jitter=0.030, packet_bits=RT_PACKET_BITS)
+DEFAULT_VIDEO = VideoParams(
+    avg_rate=60.0, burstiness=6.0, max_delay=0.050, packet_bits=RT_PACKET_BITS
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class ScenarioConfig:
+    """Everything needed to reproduce one simulated point."""
+
+    scheme: str = "proposed"
+    seed: int = 1
+    sim_time: float = 60.0
+    warmup: float = 5.0
+    #: scales call-arrival intensities and data traffic together
+    load: float = 1.0
+    ber: float = 1e-5
+    #: per-superframe CF-MultiPoll batch (only for proposed-multipoll)
+    multipoll_size: int = 4
+    #: HCF-style TXOP packets per poll (applies to the proposed schemes)
+    txop_packets: int = 1
+    # traffic mix (rates at load = 1)
+    n_data_stations: int = 4
+    data_msdus_per_station: float = 12.0
+    new_voice_rate: float = 0.05
+    new_video_rate: float = 0.05
+    handoff_voice_rate: float = 0.025
+    handoff_video_rate: float = 0.025
+    mean_holding: float = 40.0
+    handoff_deadline: float = 0.5
+    handoff_time: float = 0.005
+    voice: VoiceParams = DEFAULT_VOICE
+    video: VideoParams = DEFAULT_VIDEO
+    #: handoff arrival model: "poisson" (the paper's abstraction) or
+    #: "neighborhood" (state-dependent, from simulated neighbour cells;
+    #: the handoff_*_rate fields are then ignored)
+    mobility: str = "poisson"
+    # ablation switches
+    adaptive_cw: bool = True
+    adaptive_bandwidth: bool = True
+    voice_order: str = "ascending"
+    #: priority partition of the contention window (paper Table I)
+    alphas: tuple[int, ...] = (4, 4, 8)
+    beta: int = 0
+
+    def __post_init__(self) -> None:
+        if self.scheme not in SCHEMES:
+            raise ValueError(f"scheme must be one of {SCHEMES}, got {self.scheme!r}")
+        if self.mobility not in ("poisson", "neighborhood"):
+            raise ValueError(
+                f"mobility must be 'poisson' or 'neighborhood', got {self.mobility!r}"
+            )
+        if self.sim_time <= self.warmup:
+            raise ValueError("sim_time must exceed warmup")
+        if self.load <= 0:
+            raise ValueError(f"load must be > 0, got {self.load}")
+
+    def offered_load_bps(self) -> float:
+        """Approximate offered traffic in bits/s (for plots' x-axis)."""
+        voice_call_bps = self.voice.average_rate * self.voice.packet_bits
+        video_call_bps = self.video.avg_rate * self.video.packet_bits
+        voice_calls = (
+            (self.new_voice_rate + self.handoff_voice_rate)
+            * self.load
+            * self.mean_holding
+        )
+        video_calls = (
+            (self.new_video_rate + self.handoff_video_rate)
+            * self.load
+            * self.mean_holding
+        )
+        data_bps = (
+            self.n_data_stations
+            * self.data_msdus_per_station
+            * self.load
+            * 1024
+            * 8
+        )
+        return voice_calls * voice_call_bps + video_calls * video_call_bps + data_bps
+
+    def normalized_load(self, timing: PhyTiming | None = None) -> float:
+        """Offered load as a fraction of the channel bit rate."""
+        t = timing or PhyTiming()
+        return self.offered_load_bps() / t.data_rate
+
+
+class BssScenario:
+    """One fully wired BSS; build once, :meth:`run` once."""
+
+    def __init__(self, config: ScenarioConfig) -> None:
+        self.config = config
+        self.sim = Simulator()
+        self.timing = PhyTiming()
+        self.streams = RandomStreams(config.seed)
+        self.channel = Channel(
+            self.sim, BitErrorModel(config.ber, self.streams.get("phy/errors"))
+        )
+        self.nav = Nav()
+        self.collector = MetricsCollector(warmup=config.warmup)
+
+        self._shared_policy = self._build_policy()
+        self.ap = self._build_ap()
+        self.call_generator = CallGenerator(
+            self.sim,
+            self.ap,
+            self.channel,
+            self.timing,
+            self.nav,
+            lambda: self._shared_policy,
+            self.streams,
+            self._call_mix(),
+            self.collector,
+        )
+        self.data_stations: list[DataStation] = []
+        self._build_data_stations()
+        self.mobility = None
+        if config.mobility == "neighborhood":
+            from .mobility import NeighborhoodConfig, NeighborhoodMobility
+
+            # calibrated so the equilibrium handoff intensity matches
+            # what the poisson model would have offered at this load:
+            # target = pop / (res * d) with
+            # pop = cells * lam / (1/holding + 1/(res*d))
+            # => lam = target * (res*d/holding + 1) / cells
+            target = (
+                (config.handoff_voice_rate + config.handoff_video_rate)
+                * config.load
+                / 2.0
+            )
+            res, directions, cells = 30.0, 6, 6
+            lam = target * (res * directions / config.mean_holding + 1.0) / cells
+            ncfg = NeighborhoodConfig(
+                cells=cells,
+                mean_holding=config.mean_holding,
+                mean_residence=res,
+                directions=directions,
+                new_call_rate=max(1e-9, lam),
+            )
+            self.mobility = NeighborhoodMobility(
+                self.sim, self.call_generator, self.streams, ncfg
+            )
+        # utilization-window bookkeeping for the adaptation feedback
+        self._last_busy = 0.0
+        self._last_feedback_time = 0.0
+
+    # -- construction helpers ----------------------------------------------------
+    def _build_policy(self):
+        cfg = self.config
+        if cfg.scheme == "conventional":
+            return StandardBEB(cw_min=32, cw_max=1024)
+        if cfg.adaptive_cw:
+            return AdaptiveCW(
+                self.timing, alphas=cfg.alphas, beta=cfg.beta
+            )
+        return PriorityBackoff(alphas=cfg.alphas, beta=cfg.beta)
+
+    def _build_ap(self):
+        cfg = self.config
+        if cfg.scheme == "conventional":
+            return ConventionalAccessPoint(
+                self.sim,
+                self.channel,
+                self.timing,
+                self.nav,
+                ConventionalApConfig(rt_packet_bits=RT_PACKET_BITS),
+            )
+        multipoll = cfg.multipoll_size if cfg.scheme == "proposed-multipoll" else 1
+        ap_cfg = QosApConfig(
+            rt_packet_bits=RT_PACKET_BITS,
+            multipoll_size=multipoll,
+            adaptation_interval=1.0 if cfg.adaptive_bandwidth else 0.0,
+            voice_order=cfg.voice_order,
+            txop_packets=cfg.txop_packets,
+        )
+        bandwidth = AdaptiveBandwidthManager(BandwidthThresholds())
+        return QosAccessPoint(
+            self.sim,
+            self.channel,
+            self.timing,
+            self.nav,
+            config=ap_cfg,
+            bandwidth=bandwidth,
+            feedback=self._feedback if cfg.adaptive_bandwidth else None,
+        )
+
+    def _call_mix(self) -> CallMixConfig:
+        cfg = self.config
+        # under the neighbourhood mobility model handoffs come from the
+        # simulated neighbour cells, not from fixed-rate streams
+        poisson_handoffs = cfg.mobility == "poisson"
+        return CallMixConfig(
+            voice=cfg.voice,
+            video=cfg.video,
+            new_voice_rate=cfg.new_voice_rate * cfg.load,
+            new_video_rate=cfg.new_video_rate * cfg.load,
+            handoff_voice_rate=(
+                cfg.handoff_voice_rate * cfg.load if poisson_handoffs else 0.0
+            ),
+            handoff_video_rate=(
+                cfg.handoff_video_rate * cfg.load if poisson_handoffs else 0.0
+            ),
+            mean_holding=cfg.mean_holding,
+            handoff_deadline=cfg.handoff_deadline,
+            handoff_time=cfg.handoff_time,
+        )
+
+    def _build_data_stations(self) -> None:
+        cfg = self.config
+        for i in range(cfg.n_data_stations):
+            sid = f"data/{i}"
+            dcf = DcfTransmitter(
+                self.sim,
+                self.channel,
+                self.timing,
+                self._shared_policy,
+                self.streams.get(f"dcf/{sid}"),
+                sid,
+                self.nav,
+            )
+            station = DataStation(
+                self.sim,
+                sid,
+                dcf,
+                self.ap.ap_id,
+                on_packet_outcome=self.collector.packet_outcome,
+            )
+            source = PoissonDataSource(
+                self.sim,
+                sid,
+                station.packet_arrival,
+                self.streams.get(f"traffic/{sid}"),
+                arrival_rate=cfg.data_msdus_per_station * cfg.load,
+            )
+            source.start()
+            self.data_stations.append(station)
+
+    # -- adaptation feedback --------------------------------------------------------
+    def _window_utilization(self) -> float:
+        now = self.sim.now
+        busy = self.channel.busy_time
+        if self.channel._busy_started is not None:
+            busy += now - self.channel._busy_started
+        span = now - self._last_feedback_time
+        util = (busy - self._last_busy) / span if span > 0 else 0.0
+        self._last_busy = busy
+        self._last_feedback_time = now
+        return min(1.0, max(0.0, util))
+
+    def _feedback(self) -> tuple[float, float, float]:
+        return self.collector.adaptation_sample(self._window_utilization())
+
+    # -- execution ---------------------------------------------------------------------
+    def run(self) -> dict[str, typing.Any]:
+        """Run to ``sim_time`` and summarize everything the figures need."""
+        cfg = self.config
+        self.call_generator.start()
+        if self.mobility is not None:
+            self.mobility.start()
+        self.sim.run(until=cfg.sim_time)
+        measured = cfg.sim_time - cfg.warmup
+        results = self.collector.summary()
+        gen = self.call_generator
+        results.update(
+            {
+                "scheme": cfg.scheme,
+                "load": cfg.load,
+                "normalized_load": cfg.normalized_load(self.timing),
+                "seed": cfg.seed,
+                "call_attempts_new": gen.attempts["new"],
+                "call_attempts_handoff": gen.attempts["handoff"],
+                "calls_admitted_new": gen.admitted["new"],
+                "calls_admitted_handoff": gen.admitted["handoff"],
+                "calls_blocked": gen.blocked,
+                "calls_dropped": gen.dropped,
+                "channel_busy_fraction": self.channel.utilization(cfg.sim_time),
+                "goodput_utilization": self.collector.utilization(
+                    measured, self.timing.data_rate
+                ),
+                "worst_video_delay": self.collector.worst_delay("video")
+                or self.collector.worst_delay("ho-video"),
+            }
+        )
+        if hasattr(self.ap, "admission"):
+            results["analytic_voice_bounds"] = self.ap.admission.voice_bounds()
+            results["analytic_video_bounds"] = self.ap.admission.video_bounds()
+        return results

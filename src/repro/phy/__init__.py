@@ -1,0 +1,14 @@
+"""PHY substrate: timing constants, BER error model, broadcast channel."""
+
+from .channel import Channel, ChannelListener, Transmission, TxOutcome
+from .error_model import BitErrorModel
+from .timing import PhyTiming
+
+__all__ = [
+    "PhyTiming",
+    "BitErrorModel",
+    "Channel",
+    "ChannelListener",
+    "Transmission",
+    "TxOutcome",
+]

@@ -1,0 +1,181 @@
+"""Broadcast radio channel with collision detection.
+
+Single-BSS assumptions straight from the paper's simulation model:
+every station hears every other (no hidden/exposed terminals, no
+capture effect, no interference from neighbouring BSSs).  The channel
+is therefore one shared medium:
+
+* it is **busy** whenever at least one transmission is in flight;
+* two transmissions overlapping in time **collide** and both are lost;
+* a non-collided frame is additionally subjected to the BER frame-error
+  model (``(1-BER)^L``).
+
+Stations interact through :class:`ChannelListener` callbacks (carrier
+sense transitions and frame delivery) plus :meth:`Channel.transmit`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from ..sim.engine import Simulator
+from ..sim.events import Event
+from .error_model import BitErrorModel
+
+__all__ = ["Channel", "ChannelListener", "TxOutcome", "Transmission"]
+
+
+class ChannelListener:
+    """Callbacks a station registers with the channel (all optional)."""
+
+    def on_medium_busy(self, now: float) -> None:
+        """Medium transitioned idle → busy."""
+
+    def on_medium_idle(self, now: float) -> None:
+        """Medium transitioned busy → idle."""
+
+    def on_frame(self, frame: typing.Any, ok: bool, now: float) -> None:
+        """A frame finished on the air.
+
+        Called for every attached listener except the sender; ``ok`` is
+        False for collided or bit-error-corrupted frames.  Addressing is
+        the listener's job (frames carry ``dest``).
+        """
+
+
+@dataclasses.dataclass
+class Transmission:
+    """One in-flight frame."""
+
+    frame: typing.Any
+    sender: typing.Any
+    start: float
+    end: float
+    collided: bool = False
+    done: "Event | None" = None
+
+
+@dataclasses.dataclass(frozen=True)
+class TxOutcome:
+    """Result of a completed transmission, delivered to the sender."""
+
+    frame: typing.Any
+    collided: bool
+    bit_errors: bool
+
+    @property
+    def ok(self) -> bool:
+        return not (self.collided or self.bit_errors)
+
+
+class Channel:
+    """The shared medium.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    error_model:
+        BER frame-corruption model applied to non-collided frames.
+    """
+
+    def __init__(self, sim: Simulator, error_model: BitErrorModel) -> None:
+        self.sim = sim
+        self.error_model = error_model
+        self._listeners: list[ChannelListener] = []
+        self._active: list[Transmission] = []
+        #: time the medium last became idle (for DIFS/PIFS deference)
+        self.idle_since: float = sim.now
+        #: cumulative busy airtime (for utilization accounting)
+        self.busy_time: float = 0.0
+        self._busy_started: float | None = None
+
+    # -- attachment ----------------------------------------------------------
+    def attach(self, listener: ChannelListener) -> None:
+        """Register a listener for carrier-sense and frame callbacks."""
+        if listener in self._listeners:
+            raise ValueError("listener already attached")
+        self._listeners.append(listener)
+
+    def detach(self, listener: ChannelListener) -> None:
+        """Remove a listener (e.g. a departing station)."""
+        self._listeners.remove(listener)
+
+    # -- sensing ---------------------------------------------------------------
+    @property
+    def is_busy(self) -> bool:
+        """True while at least one transmission is in flight."""
+        return bool(self._active)
+
+    def idle_duration(self, now: float) -> float:
+        """How long the medium has been continuously idle (0 if busy)."""
+        if self._active:
+            return 0.0
+        return now - self.idle_since
+
+    def utilization(self, now: float) -> float:
+        """Fraction of elapsed time the medium has been busy."""
+        busy = self.busy_time
+        if self._busy_started is not None:
+            busy += now - self._busy_started
+        return busy / now if now > 0 else 0.0
+
+    # -- transmission -----------------------------------------------------------
+    def transmit(
+        self, frame: typing.Any, duration: float, sender: typing.Any
+    ) -> Event:
+        """Put ``frame`` on the air for ``duration`` seconds.
+
+        Returns an event that fires at the end of the transmission with
+        a :class:`TxOutcome` value.  Overlap with any other transmission
+        collides **both**.
+        """
+        if duration <= 0:
+            raise ValueError(f"transmission duration must be > 0, got {duration}")
+        now = self.sim.now
+        tx = Transmission(
+            frame=frame,
+            sender=sender,
+            start=now,
+            end=now + duration,
+            done=Event(self.sim),
+        )
+        if self._active:
+            # Overlap: everything currently in flight (and this frame)
+            # is corrupted.
+            tx.collided = True
+            for other in self._active:
+                other.collided = True
+        self._active.append(tx)
+        if len(self._active) == 1:
+            self._busy_started = now
+            for listener in list(self._listeners):
+                listener.on_medium_busy(now)
+        self.sim.call_at(tx.end, self._finish, tx, priority=-1)
+        return tx.done
+
+    def _finish(self, tx: Transmission) -> None:
+        now = self.sim.now
+        self._active.remove(tx)
+        bit_errors = False
+        if not tx.collided:
+            frame_bits = getattr(tx.frame, "total_bits", 0)
+            bit_errors = not self.error_model.frame_survives(frame_bits)
+        outcome = TxOutcome(frame=tx.frame, collided=tx.collided, bit_errors=bit_errors)
+        if not self._active:
+            self.idle_since = now
+            if self._busy_started is not None:
+                self.busy_time += now - self._busy_started
+                self._busy_started = None
+        # Deliver to receivers first, then complete the sender's event,
+        # then announce idle — so receivers see the frame before anyone
+        # reacts to the idle medium.
+        for listener in list(self._listeners):
+            if listener is not tx.sender:
+                listener.on_frame(tx.frame, outcome.ok, now)
+        assert tx.done is not None
+        tx.done.succeed(outcome)
+        if not self._active:
+            for listener in list(self._listeners):
+                listener.on_medium_idle(now)

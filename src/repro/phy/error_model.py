@@ -1,0 +1,45 @@
+"""Frame-error model.
+
+The paper computes the probability of successful frame delivery as
+``P_success = (1 - BER)^L`` with ``L`` the frame length in bits — i.e.
+independent bit errors, any bit error killing the frame.  That formula
+is reproduced here verbatim; a noiseless channel is ``BER = 0``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["BitErrorModel"]
+
+
+class BitErrorModel:
+    """Independent-bit-error frame corruption model.
+
+    Parameters
+    ----------
+    ber:
+        Channel bit-error rate in [0, 1).
+    rng:
+        Numpy generator used for the per-frame Bernoulli draws.
+    """
+
+    def __init__(self, ber: float, rng: np.random.Generator) -> None:
+        if not 0.0 <= ber < 1.0:
+            raise ValueError(f"BER must be in [0, 1), got {ber}")
+        self.ber = float(ber)
+        self._rng = rng
+
+    def success_probability(self, frame_bits: int) -> float:
+        """``(1 - BER)^L`` for an ``L``-bit frame."""
+        if frame_bits < 0:
+            raise ValueError(f"negative frame size {frame_bits}")
+        if self.ber == 0.0:
+            return 1.0
+        return (1.0 - self.ber) ** frame_bits
+
+    def frame_survives(self, frame_bits: int) -> bool:
+        """Sample whether one frame is delivered intact."""
+        if self.ber == 0.0:
+            return True
+        return bool(self._rng.random() < self.success_probability(frame_bits))

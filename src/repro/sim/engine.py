@@ -1,0 +1,201 @@
+"""The discrete-event simulation core.
+
+:class:`Simulator` owns the clock and the agenda (a binary heap of
+triggered events keyed by ``(time, priority, sequence)``).  It offers
+three styles of modelling, all interoperable:
+
+* **timer callbacks** — ``sim.call_at(t, fn)`` / ``sim.call_in(dt, fn)``;
+* **events** — create an :class:`~repro.sim.events.Event` and trigger it;
+* **processes** — generator coroutines spawned via :meth:`Simulator.process`.
+
+Determinism: two events scheduled for the same instant fire in
+``(priority, insertion order)`` — there is no reliance on hash order or
+wall-clock anywhere, so a run is exactly reproducible from its seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import typing
+
+from .events import Event, Timeout
+from .process import Process
+
+__all__ = ["Simulator", "StopSimulation", "TimerHandle"]
+
+
+class StopSimulation(Exception):
+    """Raised internally to halt :meth:`Simulator.run` early."""
+
+
+class TimerHandle:
+    """Cancellable handle returned by :meth:`Simulator.call_at`."""
+
+    __slots__ = ("time", "_fn", "_args", "cancelled")
+
+    def __init__(self, time: float, fn: typing.Callable, args: tuple) -> None:
+        self.time = time
+        self._fn = fn
+        self._args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (idempotent)."""
+        self.cancelled = True
+
+    def _fire(self) -> None:
+        if not self.cancelled:
+            self._fn(*self._args)
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    start_time:
+        Initial value of the simulation clock (default ``0.0``).
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> out = []
+    >>> def proc(sim):
+    ...     yield sim.timeout(1.5)
+    ...     out.append(sim.now)
+    >>> _ = sim.process(proc(sim))
+    >>> sim.run()
+    >>> out
+    [1.5]
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._heap: list[tuple[float, int, int, typing.Any]] = []
+        self._seq = 0
+        self._running = False
+
+    # -- clock -----------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    def peek(self) -> float:
+        """Time of the next scheduled occurrence, or ``inf`` if none."""
+        while self._heap:
+            time, _prio, _seq, item = self._heap[0]
+            if isinstance(item, TimerHandle) and item.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            return time
+        return float("inf")
+
+    # -- scheduling primitives --------------------------------------------
+    def _push(self, time: float, priority: int, item: typing.Any) -> None:
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule in the past ({time} < now={self._now})"
+            )
+        self._seq += 1
+        heapq.heappush(self._heap, (time, priority, self._seq, item))
+
+    def _enqueue_triggered(self, event: Event) -> None:
+        """Place an already-triggered event on the agenda for *now*."""
+        self._push(self._now, 0, event)
+
+    def _enqueue_at(self, time: float, priority: int, event: Event) -> None:
+        self._push(time, priority, event)
+
+    def call_at(
+        self, time: float, fn: typing.Callable, *args: typing.Any, priority: int = 0
+    ) -> TimerHandle:
+        """Run ``fn(*args)`` at absolute simulation ``time``; cancellable."""
+        handle = TimerHandle(time, fn, args)
+        self._push(time, priority, handle)
+        return handle
+
+    def call_in(
+        self, delay: float, fn: typing.Callable, *args: typing.Any, priority: int = 0
+    ) -> TimerHandle:
+        """Run ``fn(*args)`` after ``delay`` time units; cancellable."""
+        return self.call_at(self._now + delay, fn, *args, priority=priority)
+
+    # -- factories ---------------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh pending :class:`Event` owned by this simulator."""
+        return Event(self)
+
+    def timeout(
+        self, delay: float, value: typing.Any = None, priority: int = 0
+    ) -> Timeout:
+        """Create an event that fires ``delay`` from now."""
+        return Timeout(self, delay, value=value, priority=priority)
+
+    def process(self, generator: typing.Generator) -> Process:
+        """Spawn a generator coroutine as a simulation process."""
+        return Process(self, generator)
+
+    # -- execution ----------------------------------------------------------
+    def step(self) -> None:
+        """Process the single next agenda entry.
+
+        Raises
+        ------
+        IndexError
+            If the agenda is empty.
+        """
+        time, _prio, _seq, item = heapq.heappop(self._heap)
+        self._now = time
+        if isinstance(item, TimerHandle):
+            item._fire()
+        else:
+            item._process()
+
+    def run(self, until: float | Event | None = None) -> typing.Any:
+        """Run until the agenda drains, a deadline, or an event fires.
+
+        Parameters
+        ----------
+        until:
+            ``None`` — run to agenda exhaustion.  A number — run until the
+            clock would pass it (the clock is then set to it).  An
+            :class:`Event` — run until that event is processed, returning
+            its value.
+        """
+        if self._running:
+            raise RuntimeError("simulator is already running (re-entrant run())")
+        self._running = True
+        try:
+            if isinstance(until, Event):
+                sentinel = until
+                result: list[typing.Any] = []
+
+                def _stop(ev: Event) -> None:
+                    result.append(ev.value)
+                    raise StopSimulation
+
+                sentinel.add_callback(_stop)
+                try:
+                    while self._heap:
+                        self.step()
+                except StopSimulation:
+                    return result[0]
+                if not sentinel.processed:
+                    raise RuntimeError(
+                        "run(until=event): agenda drained before event fired"
+                    )
+                return result[0]
+
+            deadline = float("inf") if until is None else float(until)
+            if deadline < self._now:
+                raise ValueError(f"deadline {deadline} is in the past")
+            while self._heap:
+                if self._heap[0][0] > deadline:
+                    break
+                self.step()
+            if deadline != float("inf"):
+                self._now = deadline
+            return None
+        finally:
+            self._running = False

@@ -1,0 +1,232 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+An :class:`Event` is a one-shot synchronization point.  It starts
+*pending*, is *triggered* exactly once (either :meth:`Event.succeed` or
+:meth:`Event.fail`), and then delivers its value (or raises its
+exception) to every registered callback when the simulator processes it.
+
+Processes (see :mod:`repro.sim.process`) wait on events by yielding
+them; plain callbacks may also be attached for callback-style models.
+"""
+
+from __future__ import annotations
+
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .engine import Simulator
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "AnyOf",
+    "AllOf",
+    "EventAlreadyTriggered",
+]
+
+
+class EventAlreadyTriggered(RuntimeError):
+    """Raised when succeed/fail is called on a non-pending event."""
+
+
+PENDING = "pending"
+TRIGGERED = "triggered"
+PROCESSED = "processed"
+
+
+class Event:
+    """A one-shot occurrence inside a :class:`~repro.sim.engine.Simulator`.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.  The event schedules itself on the simulator's
+        agenda when triggered.
+
+    Notes
+    -----
+    Events follow the SimPy state machine: ``pending`` → ``triggered``
+    (value is known, sits on the agenda) → ``processed`` (callbacks have
+    run).  Triggering is immediate from the caller's point of view but
+    callbacks run at the *current simulation time* through the agenda,
+    which keeps event ordering deterministic.
+    """
+
+    __slots__ = ("sim", "callbacks", "_state", "_value", "_ok")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.callbacks: list[typing.Callable[["Event"], None]] | None = []
+        self._state = PENDING
+        self._value: typing.Any = None
+        self._ok = True
+
+    # -- state inspection ------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (may not yet be processed)."""
+        return self._state != PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._state == PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> typing.Any:
+        """The event's value; raises if the event failed or is pending."""
+        if self._state == PENDING:
+            raise RuntimeError("value of a pending event is not available")
+        if not self._ok:
+            raise self._value
+        return self._value
+
+    # -- triggering ------------------------------------------------------
+    def succeed(self, value: typing.Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._state != PENDING:
+            raise EventAlreadyTriggered(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self._state = TRIGGERED
+        self.sim._enqueue_triggered(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception to be raised in waiters."""
+        if self._state != PENDING:
+            raise EventAlreadyTriggered(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self._state = TRIGGERED
+        self.sim._enqueue_triggered(self)
+        return self
+
+    def trigger(self, other: "Event") -> None:
+        """Copy the outcome of an already-triggered ``other`` event."""
+        if not other.triggered:
+            raise RuntimeError("cannot mirror a pending event")
+        if other._ok:
+            self.succeed(other._value)
+        else:
+            self.fail(other._value)
+
+    # -- callbacks ---------------------------------------------------------
+    def add_callback(self, fn: typing.Callable[["Event"], None]) -> None:
+        """Register ``fn(event)`` to run when the event is processed.
+
+        If the event was already processed, the callback runs
+        immediately (still at the current simulation time).
+        """
+        if self.callbacks is None:
+            fn(self)
+        else:
+            self.callbacks.append(fn)
+
+    def _process(self) -> None:
+        """Run callbacks.  Called by the simulator core only."""
+        callbacks, self.callbacks = self.callbacks, None
+        self._state = PROCESSED
+        if callbacks:
+            for fn in callbacks:
+                fn(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} state={self._state} ok={self._ok}>"
+
+
+class Timeout(Event):
+    """An event that fires automatically ``delay`` time units from *now*.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    delay:
+        Non-negative delay in simulation time units.
+    value:
+        Value delivered to waiters (defaults to ``None``).
+    priority:
+        Tie-break priority among events scheduled for the same instant;
+        lower fires first.
+    """
+
+    __slots__ = ("delay",)
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        delay: float,
+        value: typing.Any = None,
+        priority: int = 0,
+    ) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        self._state = TRIGGERED
+        sim._enqueue_at(sim.now + delay, priority, self)
+
+
+class _Condition(Event):
+    """Common machinery for :class:`AnyOf` / :class:`AllOf`."""
+
+    __slots__ = ("_events", "_pending_count")
+
+    def __init__(self, sim: "Simulator", events: typing.Iterable[Event]) -> None:
+        super().__init__(sim)
+        self._events = tuple(events)
+        for ev in self._events:
+            if ev.sim is not sim:
+                raise ValueError("all events must belong to the same simulator")
+        self._pending_count = sum(1 for ev in self._events if not ev.processed)
+        if self._satisfied():
+            # Already satisfiable at construction time.
+            self.succeed(self._collect())
+        else:
+            for ev in self._events:
+                if not ev.processed:
+                    ev.add_callback(self._on_child)
+
+    def _on_child(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if not ev._ok:
+            self.fail(ev._value)
+            return
+        self._pending_count -= 1
+        if self._satisfied():
+            self.succeed(self._collect())
+
+    def _collect(self) -> dict[Event, typing.Any]:
+        return {ev: ev._value for ev in self._events if ev.processed and ev._ok}
+
+    def _satisfied(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AnyOf(_Condition):
+    """Succeeds as soon as any child event is processed successfully."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._pending_count < len(self._events) or not self._events
+
+
+class AllOf(_Condition):
+    """Succeeds once every child event has been processed successfully."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._pending_count == 0

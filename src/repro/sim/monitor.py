@@ -1,0 +1,92 @@
+"""Lightweight instrumentation: time series, tallies and trace hooks."""
+
+from __future__ import annotations
+
+import typing
+
+__all__ = ["TimeSeries", "TimeWeighted", "Trace"]
+
+
+class TimeSeries:
+    """Append-only ``(time, value)`` record with array export."""
+
+    __slots__ = ("times", "values")
+
+    def __init__(self) -> None:
+        self.times: list[float] = []
+        self.values: list[float] = []
+
+    def record(self, time: float, value: float) -> None:
+        """Append an observation (times must be non-decreasing)."""
+        if self.times and time < self.times[-1]:
+            raise ValueError(
+                f"time going backwards: {time} < {self.times[-1]}"
+            )
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __iter__(self) -> typing.Iterator[tuple[float, float]]:
+        return iter(zip(self.times, self.values))
+
+
+class TimeWeighted:
+    """Time-weighted average of a piecewise-constant signal.
+
+    Typical use: channel occupancy, queue length.  Call
+    :meth:`update` whenever the signal changes; :meth:`average`
+    integrates up to the query time.
+    """
+
+    __slots__ = ("_last_time", "_last_value", "_area", "_start")
+
+    def __init__(self, start_time: float = 0.0, initial: float = 0.0) -> None:
+        self._start = start_time
+        self._last_time = start_time
+        self._last_value = initial
+        self._area = 0.0
+
+    def update(self, time: float, value: float) -> None:
+        """Record that the signal takes ``value`` from ``time`` onwards."""
+        if time < self._last_time:
+            raise ValueError(f"time going backwards: {time} < {self._last_time}")
+        self._area += self._last_value * (time - self._last_time)
+        self._last_time = time
+        self._last_value = value
+
+    def average(self, now: float) -> float:
+        """Time-weighted mean over ``[start, now]``."""
+        span = now - self._start
+        if span <= 0:
+            return self._last_value
+        area = self._area + self._last_value * (now - self._last_time)
+        return area / span
+
+    @property
+    def current(self) -> float:
+        return self._last_value
+
+
+class Trace:
+    """Optional structured event trace (disabled by default; zero cost off)."""
+
+    __slots__ = ("enabled", "records", "filters")
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self.records: list[tuple[float, str, dict]] = []
+        self.filters: set[str] | None = None
+
+    def log(self, time: float, kind: str, **fields: typing.Any) -> None:
+        """Record a trace entry if tracing is on (and kind passes filter)."""
+        if not self.enabled:
+            return
+        if self.filters is not None and kind not in self.filters:
+            return
+        self.records.append((time, kind, fields))
+
+    def of_kind(self, kind: str) -> list[tuple[float, dict]]:
+        """All records of one kind, as ``(time, fields)`` pairs."""
+        return [(t, f) for (t, k, f) in self.records if k == kind]

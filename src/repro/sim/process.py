@@ -1,0 +1,133 @@
+"""Generator-coroutine processes on top of the event kernel.
+
+A *process* wraps a Python generator.  The generator models activity by
+yielding things it wants to wait on:
+
+* a number — sleep that many time units;
+* an :class:`~repro.sim.events.Event` — wait for it (its value is sent
+  back in; a failed event raises inside the generator);
+* another :class:`Process` — join it (the target's return value is sent
+  back in).
+
+Processes are themselves events: they trigger when the generator
+returns (value = ``StopIteration`` value) or raises.  They can be
+interrupted asynchronously with :meth:`Process.interrupt`, which raises
+:class:`Interrupt` at the current yield point.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from .events import Event
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from .engine import Simulator
+
+__all__ = ["Process", "Interrupt"]
+
+
+class Interrupt(Exception):
+    """Raised inside a process generator by :meth:`Process.interrupt`.
+
+    Attributes
+    ----------
+    cause:
+        Arbitrary object passed by the interrupter.
+    """
+
+    def __init__(self, cause: typing.Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Process(Event):
+    """A running generator coroutine; also an event that fires on exit."""
+
+    __slots__ = ("_generator", "_waiting_on", "name")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        generator: typing.Generator,
+        name: str | None = None,
+    ) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(
+                f"process body must be a generator, got {type(generator).__name__}"
+            )
+        super().__init__(sim)
+        self._generator = generator
+        self._waiting_on: Event | None = None
+        self.name = name or getattr(generator, "__name__", "process")
+        # Kick-start at the current instant (through the agenda so that
+        # creation order, not call stack depth, decides ordering).
+        start = Event(sim)
+        start.succeed(None)
+        self._waiting_on = start
+        start.add_callback(self._resume)
+
+    # -- public API --------------------------------------------------------
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not exited."""
+        return not self.triggered
+
+    def interrupt(self, cause: typing.Any = None) -> None:
+        """Raise :class:`Interrupt` inside the process at its yield point.
+
+        Interrupting a dead process raises ``RuntimeError``.  The
+        interrupt is delivered immediately (synchronously): by the time
+        this returns the generator has run to its next yield.
+        """
+        if not self.is_alive:
+            raise RuntimeError(f"cannot interrupt dead process {self.name!r}")
+        # Detach from the current wait so its eventual firing is ignored
+        # by _resume's staleness check, then deliver the interrupt.
+        self._waiting_on = None
+        self._step(Interrupt(cause))
+
+    # -- driving the generator -----------------------------------------------
+    def _resume(self, event: Event) -> None:
+        if self._waiting_on is not event:
+            return  # stale wake-up from an interrupted wait
+        self._waiting_on = None
+        if event._ok:
+            self._step(event._value)
+        else:
+            self._step(event._value, throw=True)
+
+    def _step(self, value: typing.Any, throw: bool = False) -> None:
+        try:
+            if isinstance(value, Interrupt):
+                target = self._generator.throw(value)
+            elif throw:
+                target = self._generator.throw(value)
+            else:
+                target = self._generator.send(value)
+        except StopIteration as exc:
+            self.succeed(exc.value)
+            return
+        except BaseException as exc:
+            self.fail(exc)
+            return
+        self._wait_on(target)
+
+    def _wait_on(self, target: typing.Any) -> None:
+        if isinstance(target, Event):
+            event = target
+        elif isinstance(target, (int, float)):
+            event = self.sim.timeout(target)
+        else:
+            err = TypeError(
+                f"process {self.name!r} yielded unwaitable {target!r}; "
+                "yield an Event, Process, or a numeric delay"
+            )
+            self._step(err, throw=True)
+            return
+        self._waiting_on = event
+        event.add_callback(self._resume)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self.is_alive else "dead"
+        return f"<Process {self.name!r} {state}>"

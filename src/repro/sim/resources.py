@@ -1,0 +1,122 @@
+"""Shared-resource primitives: FIFO resources and object stores.
+
+These are thin, deterministic queueing helpers used by the MAC layer
+(e.g. per-station transmit queues) and by examples/tests.  They follow
+the usual DES semantics: ``request``/``get``/``put`` return events that
+a process yields on.
+"""
+
+from __future__ import annotations
+
+import collections
+import typing
+
+from .engine import Simulator
+from .events import Event
+
+__all__ = ["Resource", "Store"]
+
+
+class _Request(Event):
+    """Pending claim on a :class:`Resource`; release through the resource."""
+
+    __slots__ = ()
+
+
+class Resource:
+    """A capacity-limited resource with FIFO granting.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    capacity:
+        Number of simultaneous holders (>= 1).
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._queue: collections.deque[_Request] = collections.deque()
+        self._users: set[_Request] = set()
+
+    @property
+    def count(self) -> int:
+        """Number of current holders."""
+        return len(self._users)
+
+    @property
+    def queued(self) -> int:
+        """Number of waiting requests."""
+        return len(self._queue)
+
+    def request(self) -> Event:
+        """Claim one unit; the returned event fires when granted."""
+        req = _Request(self.sim)
+        self._queue.append(req)
+        self._grant()
+        return req
+
+    def release(self, request: Event) -> None:
+        """Return a previously granted unit."""
+        try:
+            self._users.remove(request)  # type: ignore[arg-type]
+        except KeyError:
+            raise RuntimeError("release() of a request that is not held") from None
+        self._grant()
+
+    def _grant(self) -> None:
+        while self._queue and len(self._users) < self.capacity:
+            req = self._queue.popleft()
+            self._users.add(req)
+            req.succeed(req)
+
+
+class Store:
+    """An unbounded-or-bounded FIFO buffer of arbitrary items.
+
+    ``put`` blocks when the store is full (if ``capacity`` is finite);
+    ``get`` blocks when it is empty.  Items come out in insertion order.
+    """
+
+    def __init__(self, sim: Simulator, capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.items: collections.deque[typing.Any] = collections.deque()
+        self._getters: collections.deque[Event] = collections.deque()
+        self._putters: collections.deque[tuple[Event, typing.Any]] = collections.deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: typing.Any) -> Event:
+        """Insert ``item``; the returned event fires once accepted."""
+        ev = Event(self.sim)
+        self._putters.append((ev, item))
+        self._settle()
+        return ev
+
+    def get(self) -> Event:
+        """Remove the oldest item; the returned event carries it."""
+        ev = Event(self.sim)
+        self._getters.append(ev)
+        self._settle()
+        return ev
+
+    def _settle(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            while self._putters and len(self.items) < self.capacity:
+                ev, item = self._putters.popleft()
+                self.items.append(item)
+                ev.succeed(None)
+                progressed = True
+            while self._getters and self.items:
+                ev = self._getters.popleft()
+                ev.succeed(self.items.popleft())
+                progressed = True

@@ -1,0 +1,68 @@
+"""Reproducible named random-number streams.
+
+Every stochastic component of the simulation (each traffic source, the
+channel error model, the call generator, ...) draws from its *own*
+stream, derived deterministically from a single master seed and the
+stream's name.  This gives two properties the experiments rely on:
+
+* **bit-for-bit reproducibility** of a whole run from one integer seed;
+* **variance isolation** — adding a new random component does not shift
+  the draws seen by existing ones, so paired comparisons between the
+  proposed scheme and the baseline use identical arrival sequences
+  (common random numbers).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["RandomStreams"]
+
+
+class RandomStreams:
+    """Factory of independent, name-keyed :class:`numpy.random.Generator` s.
+
+    Parameters
+    ----------
+    master_seed:
+        Non-negative integer seeding the whole family.
+
+    Examples
+    --------
+    >>> streams = RandomStreams(7)
+    >>> a = streams.get("voice/3")
+    >>> b = streams.get("voice/3")
+    >>> a is b
+    True
+    >>> float(a.random()) == float(RandomStreams(7).get("voice/3").random())
+    True
+    """
+
+    def __init__(self, master_seed: int = 0) -> None:
+        if master_seed < 0:
+            raise ValueError(f"master_seed must be >= 0, got {master_seed}")
+        self.master_seed = int(master_seed)
+        self._streams: dict[str, np.random.Generator] = {}
+
+    def _seed_for(self, name: str) -> int:
+        digest = hashlib.sha256(
+            f"{self.master_seed}:{name}".encode("utf-8")
+        ).digest()
+        return int.from_bytes(digest[:8], "little")
+
+    def get(self, name: str) -> np.random.Generator:
+        """Return the (cached) generator for ``name``."""
+        gen = self._streams.get(name)
+        if gen is None:
+            gen = np.random.Generator(np.random.PCG64(self._seed_for(name)))
+            self._streams[name] = gen
+        return gen
+
+    def fork(self, sub_seed: int) -> "RandomStreams":
+        """Derive a related but independent family (for replications)."""
+        return RandomStreams(self._seed_for(f"fork/{sub_seed}") % (2**63))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._streams

@@ -1,0 +1,103 @@
+"""Leaky-bucket (token-bucket) arrival-curve utilities.
+
+Theorem 3's proof treats video arrivals as ``(rho, sigma)``-upper
+constrained: over any window ``[s, t]`` at most ``rho*(t-s) + sigma``
+packets arrive.  This module provides both the *regulator* (shapes or
+polices a packet stream to conform) and the *characterizer* (computes
+the tightest ``sigma`` for a given ``rho`` from an observed arrival
+trace), which the tests use to validate the video source against its
+declaration.
+"""
+
+from __future__ import annotations
+
+import typing
+
+__all__ = ["LeakyBucket", "tightest_sigma", "conforms"]
+
+
+class LeakyBucket:
+    """Token-bucket policer: ``rho`` tokens/s, depth ``sigma``.
+
+    The bucket starts full.  :meth:`conforming` asks whether an arrival
+    of ``count`` packets at ``time`` fits; :meth:`consume` commits it.
+    """
+
+    def __init__(self, rho: float, sigma: float) -> None:
+        if rho <= 0:
+            raise ValueError(f"rho must be > 0, got {rho}")
+        if sigma < 0:
+            raise ValueError(f"sigma must be >= 0, got {sigma}")
+        self.rho = float(rho)
+        self.sigma = float(sigma)
+        self._tokens = float(sigma)
+        self._last = 0.0
+
+    def _refill(self, time: float) -> None:
+        if time < self._last:
+            raise ValueError(f"time going backwards: {time} < {self._last}")
+        self._tokens = min(self.sigma, self._tokens + self.rho * (time - self._last))
+        self._last = time
+
+    def conforming(self, time: float, count: float = 1.0) -> bool:
+        """Would ``count`` packets at ``time`` conform?"""
+        self._refill(time)
+        return count <= self._tokens + 1e-12
+
+    def consume(self, time: float, count: float = 1.0) -> bool:
+        """Commit an arrival; returns conformance (non-conforming still
+        drains the bucket to zero, modelling a policer that marks)."""
+        self._refill(time)
+        ok = count <= self._tokens + 1e-12
+        self._tokens = max(0.0, self._tokens - count)
+        return ok
+
+    def delay_until_conforming(self, time: float, count: float = 1.0) -> float:
+        """Shaper view: how long must ``count`` packets wait at ``time``?"""
+        self._refill(time)
+        deficit = count - self._tokens
+        if deficit <= 0:
+            return 0.0
+        return deficit / self.rho
+
+
+def tightest_sigma(
+    arrivals: typing.Sequence[float], rho: float, counts: typing.Sequence[float] | None = None
+) -> float:
+    """Smallest ``sigma`` such that the trace is (rho, sigma)-constrained.
+
+    ``sigma* = max over prefixes of (cumulative count - rho * elapsed)``,
+    evaluated at arrival instants (where the envelope is tight).
+    """
+    if rho <= 0:
+        raise ValueError(f"rho must be > 0, got {rho}")
+    if counts is None:
+        counts = [1.0] * len(arrivals)
+    if len(counts) != len(arrivals):
+        raise ValueError("arrivals and counts must have equal length")
+    # The binding window always starts just before some arrival i and
+    # ends at some arrival j >= i:
+    #   sigma* = max_j [ (cum_{j+1} - rho*t_j) + max_{i<=j} (rho*t_i - cum_i) ]
+    # which a single pass computes with a running maximum.
+    sigma = 0.0
+    cum = 0.0  # packets strictly before the current arrival
+    best_start = float("-inf")  # max over i<=j of (rho*t_i - cum_i)
+    prev = None
+    for t, c in zip(arrivals, counts):
+        if prev is not None and t < prev:
+            raise ValueError("arrival times must be non-decreasing")
+        prev = t
+        best_start = max(best_start, rho * t - cum)
+        cum += c
+        sigma = max(sigma, cum - rho * t + best_start)
+    return sigma
+
+
+def conforms(
+    arrivals: typing.Sequence[float],
+    rho: float,
+    sigma: float,
+    counts: typing.Sequence[float] | None = None,
+) -> bool:
+    """Is the trace (rho, sigma)-upper constrained?"""
+    return tightest_sigma(arrivals, rho, counts) <= sigma + 1e-9

@@ -1,0 +1,105 @@
+"""Unit tests for the adaptive contention-window controller."""
+
+import numpy as np
+import pytest
+
+from repro.core import AdaptiveCW
+from repro.phy import PhyTiming
+
+
+def make(**kw):
+    defaults = dict(timing=PhyTiming(), update_every=16)
+    defaults.update(kw)
+    return AdaptiveCW(**defaults)
+
+
+def rng():
+    return np.random.Generator(np.random.PCG64(0))
+
+
+def test_starts_at_nominal_window():
+    cw = make()
+    assert cw.cw_estimate == float(cw.total_window(0))
+    assert cw.scale == 1.0
+
+
+def test_busy_fraction_zero_initially():
+    assert make().busy_fraction() == 0.0
+
+
+def test_quiet_channel_keeps_window_small():
+    cw = make()
+    before = cw.cw_estimate
+    for _ in range(20):
+        cw.observe_slots(idle_slots=16, busy_events=0)
+    # with nothing observed busy, n-est ~ 1, target CW small
+    assert cw.cw_estimate <= before
+    assert cw.updates >= 1
+
+
+def test_congested_channel_grows_window():
+    cw = make()
+    before = cw.total_window(0)
+    for _ in range(60):
+        cw.observe_slots(idle_slots=1, busy_events=3)
+        cw.observe_outcome(False)
+    assert cw.total_window(0) > before
+    assert cw.cw_estimate > before
+
+
+def test_failures_count_toward_busy_fraction():
+    cw = make(update_every=10**9)  # never auto-update
+    cw.observe_slots(idle_slots=5, busy_events=0)
+    cw.observe_outcome(False)
+    assert cw.busy_fraction() == pytest.approx(1 / 6)
+
+
+def test_smoothing_limits_step_size():
+    calm = make(sigma_smooth=0.95)
+    jumpy = make(sigma_smooth=0.0)
+    for c in (calm, jumpy):
+        c.observe_slots(idle_slots=1, busy_events=15)
+    assert abs(calm.cw_estimate - calm.total_window(0)) >= 0  # updated
+    # the unsmoothed one moved further from the start
+    start = float(PriorityTotal())
+    assert abs(jumpy.cw_estimate - start) > abs(calm.cw_estimate - start)
+
+
+def PriorityTotal():
+    from repro.core import PriorityBackoff
+
+    return PriorityBackoff().total_window(0)
+
+
+def test_counters_reset_after_update():
+    cw = make(update_every=8)
+    cw.observe_slots(idle_slots=8, busy_events=0)
+    assert cw.busy_fraction() == 0.0  # window was consumed by the update
+
+
+def test_partition_preserved_under_adaptation():
+    cw = make()
+    for _ in range(40):
+        cw.observe_slots(idle_slots=2, busy_events=6)
+    # priority separation must survive scaling
+    g = rng()
+    hi = max(cw.draw_slots(0, 0, g) for _ in range(100))
+    lo = min(cw.draw_slots(1, 0, g) for _ in range(100))
+    assert hi < lo
+
+
+def test_shared_instance_pools_observations():
+    cw = make(update_every=10)
+    # two "stations" feeding the same policy
+    cw.observe_slots(5, 0)
+    cw.observe_slots(5, 0)
+    assert cw.updates == 1
+
+
+def test_invalid_params():
+    with pytest.raises(ValueError):
+        make(sigma_smooth=1.0)
+    with pytest.raises(ValueError):
+        make(sigma_smooth=-0.1)
+    with pytest.raises(ValueError):
+        make(update_every=0)

@@ -1,0 +1,138 @@
+"""Unit tests for the Bianchi / Cali-Conti-Gregori capacity model."""
+
+import pytest
+
+from repro.core import (
+    bianchi_tau,
+    estimate_stations,
+    failure_probability,
+    optimal_attempt_probability,
+    optimal_cw,
+    saturation_throughput,
+)
+from repro.phy import PhyTiming
+
+
+class TestBianchiTau:
+    def test_single_station_attempts_aggressively(self):
+        tau1 = bianchi_tau(1, 32, 5)
+        # with no collisions (n=1, pe=0), tau = 2/(W+1)
+        assert tau1 == pytest.approx(2 / 33, rel=1e-6)
+
+    def test_tau_decreases_with_n(self):
+        taus = [bianchi_tau(n, 32, 5) for n in (2, 5, 10, 20, 50)]
+        assert all(a > b for a, b in zip(taus, taus[1:]))
+
+    def test_tau_decreases_with_cw(self):
+        assert bianchi_tau(10, 16, 5) > bianchi_tau(10, 128, 5)
+
+    def test_frame_errors_push_tau_down(self):
+        assert bianchi_tau(10, 32, 5, pe=0.2) < bianchi_tau(10, 32, 5, pe=0.0)
+
+    def test_fixed_point_consistency(self):
+        n, w, m = 15, 32, 5
+        tau = bianchi_tau(n, w, m)
+        p = failure_probability(tau, n)
+        # plug back into tau(p)
+        num = 2 * (1 - 2 * p)
+        den = (1 - 2 * p) * (w + 1) + p * w * (1 - (2 * p) ** m)
+        assert tau == pytest.approx(num / den, rel=1e-4)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            bianchi_tau(0, 32, 5)
+        with pytest.raises(ValueError):
+            bianchi_tau(5, 0, 5)
+        with pytest.raises(ValueError):
+            bianchi_tau(5, 32, -1)
+        with pytest.raises(ValueError):
+            bianchi_tau(5, 32, 5, pe=1.0)
+
+
+class TestThroughput:
+    def test_zero_when_no_attempts(self):
+        t = PhyTiming()
+        assert saturation_throughput(5, 0.0, t, 8192) == 0.0
+
+    def test_peak_interior_in_tau(self):
+        t = PhyTiming()
+        n, bits = 20, 8192
+        s_low = saturation_throughput(n, 1e-4, t, bits)
+        s_opt = saturation_throughput(
+            n, optimal_attempt_probability(n, t.data_exchange_time(bits) / t.slot),
+            t, bits,
+        )
+        s_high = saturation_throughput(n, 0.5, t, bits)
+        assert s_opt > s_low
+        assert s_opt > s_high
+
+    def test_analytic_optimum_near_numeric_peak(self):
+        """The closed form 1/(n*sqrt(T'/2)) sits near the true argmax."""
+        t = PhyTiming()
+        n, bits = 30, 8192
+        frame_slots = t.data_exchange_time(bits) / t.slot
+        tau_star = optimal_attempt_probability(n, frame_slots)
+        s_star = saturation_throughput(n, tau_star, t, bits)
+        import numpy as np
+
+        taus = np.linspace(1e-4, 0.2, 400)
+        best = max(saturation_throughput(n, x, t, bits) for x in taus)
+        assert s_star >= 0.95 * best
+
+    def test_errors_reduce_throughput(self):
+        t = PhyTiming()
+        tau = 0.02
+        assert saturation_throughput(10, tau, t, 8192, pe=0.3) < (
+            saturation_throughput(10, tau, t, 8192, pe=0.0)
+        )
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            saturation_throughput(0, 0.1, PhyTiming(), 8192)
+
+
+class TestOptimalCw:
+    def test_cw_grows_with_n(self):
+        assert optimal_cw(20, 100) > optimal_cw(5, 100)
+
+    def test_cw_grows_with_frame_length(self):
+        assert optimal_cw(10, 400) > optimal_cw(10, 50)
+
+    def test_cw_at_least_one(self):
+        assert optimal_cw(1, 0.1) >= 1.0
+
+    def test_inverse_relation(self):
+        n, T = 12, 150
+        p = optimal_attempt_probability(n, T)
+        assert optimal_cw(n, T) == pytest.approx(2 / p - 1)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            optimal_attempt_probability(0, 10)
+        with pytest.raises(ValueError):
+            optimal_attempt_probability(5, 0)
+
+
+class TestEstimateStations:
+    def test_quiet_channel_means_alone(self):
+        assert estimate_stations(0.0, 32) == 1.0
+
+    def test_roundtrip_with_bianchi_relation(self):
+        """Generate p from a known n, invert, recover n approximately."""
+        cw = 64.0
+        tau = 2 / (cw + 1)
+        for n in (2, 5, 10, 30):
+            p = 1 - (1 - tau) ** (n - 1)
+            n_est = estimate_stations(p, cw)
+            assert n_est == pytest.approx(n, rel=1e-6)
+
+    def test_monotone_in_busy_fraction(self):
+        a = estimate_stations(0.1, 32)
+        b = estimate_stations(0.5, 32)
+        assert b > a
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            estimate_stations(1.0, 32)
+        with pytest.raises(ValueError):
+            estimate_stations(0.2, 0.5)

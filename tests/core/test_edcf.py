@@ -1,0 +1,127 @@
+"""Tests for the EDCF-style differentiation policies and AIFS support."""
+
+import numpy as np
+import pytest
+
+from repro.core import AifsDifferentiation, CwDifferentiation
+from repro.mac import DcfTransmitter, Frame, FrameType
+from repro.phy import PhyTiming
+
+from ..mac.conftest import MacWorld
+
+
+def rng(seed=0):
+    return np.random.Generator(np.random.PCG64(seed))
+
+
+class TestCwDifferentiation:
+    def test_windows_per_level(self):
+        p = CwDifferentiation(cw_mins=(8, 16, 32))
+        assert p.window(0, 0) == 8
+        assert p.window(2, 0) == 32
+        assert p.window(0, 2) == 32
+        assert p.window(2, 10) == 1024  # capped
+
+    def test_draws_overlap_from_zero(self):
+        p = CwDifferentiation(cw_mins=(8, 32))
+        g = rng()
+        lo_draws = [p.draw_slots(1, 0, g) for _ in range(300)]
+        assert min(lo_draws) < 8  # low priority CAN draw small values
+
+    def test_high_priority_wins_statistically_not_strictly(self):
+        p = CwDifferentiation(cw_mins=(8, 32))
+        g = rng(1)
+        wins = sum(
+            p.draw_slots(0, 0, g) < p.draw_slots(1, 0, g) for _ in range(2000)
+        )
+        assert 0.6 < wins / 2000 < 0.95  # probabilistic, not strict
+
+    def test_no_extra_ifs(self):
+        assert CwDifferentiation().extra_ifs(0) == 0.0
+        assert CwDifferentiation().extra_ifs(2) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CwDifferentiation(cw_mins=())
+        with pytest.raises(ValueError):
+            CwDifferentiation(cw_mins=(0, 8))
+        with pytest.raises(ValueError):
+            CwDifferentiation(cw_mins=(8,), cw_max=4)
+        with pytest.raises(ValueError):
+            CwDifferentiation().window(5, 0)
+        with pytest.raises(ValueError):
+            CwDifferentiation().window(0, -1)
+
+
+class TestAifsDifferentiation:
+    def test_extra_ifs_scales_with_slots(self):
+        t = PhyTiming()
+        p = AifsDifferentiation(t, aifs_slots=(0, 2, 4))
+        assert p.extra_ifs(0) == 0.0
+        assert p.extra_ifs(1) == pytest.approx(2 * t.slot)
+        assert p.extra_ifs(2) == pytest.approx(4 * t.slot)
+
+    def test_common_window_for_all_levels(self):
+        p = AifsDifferentiation(PhyTiming(), cw_min=16)
+        g = rng()
+        for level in range(3):
+            draws = [p.draw_slots(level, 0, g) for _ in range(200)]
+            assert max(draws) < 16
+
+    def test_validation(self):
+        t = PhyTiming()
+        with pytest.raises(ValueError):
+            AifsDifferentiation(t, aifs_slots=())
+        with pytest.raises(ValueError):
+            AifsDifferentiation(t, aifs_slots=(-1,))
+        with pytest.raises(ValueError):
+            AifsDifferentiation(t, cw_min=0)
+        with pytest.raises(ValueError):
+            AifsDifferentiation(t).extra_ifs(9)
+        with pytest.raises(ValueError):
+            AifsDifferentiation(t).window(-1)
+
+
+class TestAifsInDcf:
+    def test_higher_aifs_level_transmits_later(self):
+        """Two stations, same backoff draw, different AIFS: the
+        lower-AIFS one transmits first."""
+        world = MacWorld()
+        t = world.timing
+        policy = AifsDifferentiation(t, aifs_slots=(0, 6), cw_min=1)
+        order = []
+        for sid, level in (("fast", 0), ("slow", 1)):
+            tx = DcfTransmitter(
+                world.sim, world.channel, t, policy, world.rng(sid),
+                sid, world.nav,
+            )
+            frame = Frame(FrameType.DATA, src=sid, dest="ap", payload_bits=2048)
+            # make the medium busy first so both must defer and count
+            world.sim.call_at(
+                0.001, tx.enqueue, frame, level,
+                lambda ok, sid=sid: order.append(sid),
+            )
+        blocker = Frame(FrameType.DATA, src="x", dest="y", payload_bits=8000)
+        world.channel.transmit(blocker, 0.005, sender=None)
+        world.sim.run()
+        assert order[0] == "fast"
+
+    def test_aifs_delays_immediate_access(self):
+        """A level whose AIFS hasn't elapsed cannot use immediate access."""
+        world = MacWorld()
+        t = world.timing
+        policy = AifsDifferentiation(t, aifs_slots=(0, 10), cw_min=1)
+        tx = DcfTransmitter(
+            world.sim, world.channel, t, policy, world.rng("s"), "s", world.nav,
+        )
+        done_at = []
+        # enqueue when the medium has been idle exactly DIFS: enough for
+        # level 0, not for level 1
+        at = t.difs
+        frame = Frame(FrameType.DATA, src="s", dest="ap", payload_bits=2048)
+        world.sim.call_at(
+            at, tx.enqueue, frame, 1, lambda ok: done_at.append(world.sim.now)
+        )
+        world.sim.run()
+        # must have waited at least the 10-slot AIFS beyond DIFS
+        assert done_at[0] >= t.difs + 10 * t.slot

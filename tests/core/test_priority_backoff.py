@@ -1,0 +1,140 @@
+"""Unit + property tests for the partitioned priority backoff."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PriorityBackoff
+
+
+def rng(seed=0):
+    return np.random.Generator(np.random.PCG64(seed))
+
+
+def test_paper_table1_example():
+    """The paper's running example: high 0-3, low(er) 4-7 at stage 0."""
+    pb = PriorityBackoff(alphas=(4, 4, 8), beta=0)
+    assert pb.window(0, 0) == (0, 4)  # draws 0..3
+    assert pb.window(1, 0) == (4, 4)  # draws 4..7
+    assert pb.window(2, 0) == (8, 8)  # draws 8..15
+
+
+def test_windows_double_per_stage():
+    pb = PriorityBackoff(alphas=(4, 4, 8), beta=0)
+    assert pb.window(0, 1) == (0, 8)
+    assert pb.window(1, 1) == (8, 8)
+    assert pb.window(2, 1) == (16, 16)
+    assert pb.window(2, 2) == (32, 32)
+
+
+def test_beta_inserts_guard_slots():
+    pb = PriorityBackoff(alphas=(2, 2), beta=3)
+    off0, w0 = pb.window(0, 0)
+    off1, w1 = pb.window(1, 0)
+    assert off0 == 0
+    assert off1 == w0 + 3
+
+
+def test_lowest_priority_gets_widest_window():
+    pb = PriorityBackoff()  # paper default (4, 4, 8)
+    assert pb.window(2, 0)[1] > pb.window(0, 0)[1]
+
+
+def test_draws_stay_within_level_window():
+    pb = PriorityBackoff(alphas=(4, 4, 8), beta=1)
+    g = rng()
+    for level in range(3):
+        offset, width = pb.window(level, 2)
+        draws = [pb.draw_slots(level, 2, g) for _ in range(300)]
+        assert min(draws) >= offset
+        assert max(draws) < offset + width
+
+
+def test_strict_priority_separation_same_stage():
+    """Any level-j draw beats any level-(j+1) draw at the same stage."""
+    pb = PriorityBackoff(alphas=(4, 4, 8), beta=0)
+    g = rng(1)
+    for stage in range(4):
+        hi = max(pb.draw_slots(0, stage, g) for _ in range(200))
+        lo = min(pb.draw_slots(1, stage, g) for _ in range(200))
+        assert hi < lo
+
+
+def test_scale_expands_windows():
+    pb = PriorityBackoff(alphas=(4, 4, 8))
+    base_total = pb.total_window(0)
+    pb.set_scale(2.0)
+    assert pb.total_window(0) == 2 * base_total
+
+
+def test_scale_never_collapses_below_one_slot():
+    pb = PriorityBackoff(alphas=(4, 4, 8), scale=1e-6)
+    for level in range(3):
+        assert pb.window(level, 0)[1] >= 1
+
+
+def test_stage_caps_at_max_stage():
+    pb = PriorityBackoff(alphas=(4,), max_stage_=2)
+    assert pb.window(0, 2)[1] == pb.window(0, 10)[1]
+
+
+def test_table_shape():
+    pb = PriorityBackoff(alphas=(4, 4, 8))
+    rows = pb.table(stages=2)
+    assert len(rows) == 6
+    assert rows[0] == {"stage": 0, "level": 0, "range": (0, 3)}
+    assert rows[2]["range"] == (8, 15)
+
+
+def test_invalid_configs_rejected():
+    with pytest.raises(ValueError):
+        PriorityBackoff(alphas=())
+    with pytest.raises(ValueError):
+        PriorityBackoff(alphas=(0, 4))
+    with pytest.raises(ValueError):
+        PriorityBackoff(beta=-1)
+    with pytest.raises(ValueError):
+        PriorityBackoff(max_stage_=-1)
+    with pytest.raises(ValueError):
+        PriorityBackoff(scale=0)
+    pb = PriorityBackoff()
+    with pytest.raises(ValueError):
+        pb.window(3, 0)
+    with pytest.raises(ValueError):
+        pb.window(0, -1)
+    with pytest.raises(ValueError):
+        pb.set_scale(-1.0)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    alphas=st.lists(st.integers(min_value=1, max_value=32), min_size=1, max_size=5),
+    beta=st.integers(min_value=0, max_value=8),
+    stage=st.integers(min_value=0, max_value=6),
+    scale=st.floats(min_value=0.1, max_value=8.0),
+)
+def test_property_windows_are_disjoint_and_ordered(alphas, beta, stage, scale):
+    """Priority windows never overlap and are strictly ordered."""
+    pb = PriorityBackoff(alphas=tuple(alphas), beta=beta, scale=scale)
+    prev_end = -1
+    for level in range(len(alphas)):
+        offset, width = pb.window(level, stage)
+        assert width >= 1
+        assert offset > prev_end
+        prev_end = offset + width - 1
+    assert pb.total_window(stage) == prev_end + 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    stage=st.integers(min_value=0, max_value=5),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_property_draw_in_window(stage, seed):
+    pb = PriorityBackoff(alphas=(3, 5, 7), beta=2)
+    g = rng(seed)
+    for level in range(3):
+        offset, width = pb.window(level, stage)
+        d = pb.draw_slots(level, stage, g)
+        assert offset <= d < offset + width

@@ -1,0 +1,179 @@
+"""Unit + property tests for the Theorem 1-3 bounds."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    VideoFlow,
+    VoiceFlow,
+    optimal_voice_order,
+    total_waiting_time,
+    video_delay_bound,
+    video_rate_latency,
+    video_schedulable,
+    voice_response_bound,
+    voice_schedulable,
+)
+
+T = 1.2e-3  # ~ per-packet CFP exchange time used throughout
+
+
+def voice(rate=50.0, jitter=0.03, handoff=0.0, share=1.0):
+    return VoiceFlow(rate=rate, max_jitter=jitter, handoff_time=handoff, share=share)
+
+
+def video(rate=60.0, burst=10.0, delay=0.05, handoff=0.0, share=1.0, x=0.0):
+    return VideoFlow(
+        avg_rate=rate, burstiness=burst, max_delay=delay,
+        handoff_time=handoff, share=share, token_latency=x,
+    )
+
+
+class TestVoiceBound:
+    def test_single_source_formula(self):
+        flows = [voice()]
+        expected = T * (1 + 0.03 * 50.0)
+        assert voice_response_bound(flows, 0, T) == pytest.approx(expected)
+
+    def test_bound_grows_with_more_sources(self):
+        one = voice_response_bound([voice()], 0, T)
+        flows = [voice(rate=30), voice()]
+        two = voice_response_bound(flows, 1, T)
+        assert two > one
+
+    def test_share_scales_bound(self):
+        full = voice_response_bound([voice(share=1.0)], 0, T)
+        half = voice_response_bound([voice(share=0.5)], 0, T)
+        assert half == pytest.approx(2 * full)
+
+    def test_schedulable_small_set(self):
+        flows = [voice(rate=25, jitter=0.04), voice(rate=50, jitter=0.04)]
+        assert all(voice_schedulable(flows, T))
+
+    def test_unschedulable_when_overloaded(self):
+        flows = [voice(rate=2000.0, jitter=0.01) for _ in range(5)]
+        assert not all(voice_schedulable(flows, T))
+
+    def test_handoff_time_consumes_slack(self):
+        ok = voice(jitter=0.01)
+        tight = voice(jitter=0.01, handoff=0.0099)
+        assert voice_schedulable([ok], T)[0]
+        assert not voice_schedulable([tight], T)[0]
+
+    def test_index_out_of_range(self):
+        with pytest.raises(IndexError):
+            voice_response_bound([voice()], 1, T)
+
+    def test_invalid_packet_time(self):
+        with pytest.raises(ValueError):
+            voice_response_bound([voice()], 0, 0.0)
+
+    def test_invalid_flow_params(self):
+        with pytest.raises(ValueError):
+            VoiceFlow(rate=0, max_jitter=0.1)
+        with pytest.raises(ValueError):
+            VoiceFlow(rate=10, max_jitter=0.1, handoff_time=-1)
+        with pytest.raises(ValueError):
+            VoiceFlow(rate=10, max_jitter=0.1, share=0)
+
+
+class TestVideoBound:
+    def test_rate_latency_shape(self):
+        voices = [voice(rate=100)]
+        videos = [video(rate=50)]
+        rate, latency = video_rate_latency(voices, videos, 0, T)
+        assert rate == pytest.approx(1 / T - 100)
+        assert latency == pytest.approx(T * 2)
+
+    def test_higher_priority_video_eats_rate(self):
+        voices = []
+        videos = [video(rate=200, delay=0.02), video(rate=50, delay=0.05)]
+        r0, _ = video_rate_latency(voices, videos, 0, T)
+        r1, _ = video_rate_latency(voices, videos, 1, T)
+        assert r1 == pytest.approx(r0 - 200)
+
+    def test_delay_bound_includes_token_latency(self):
+        voices = []
+        base = video_delay_bound(voices, [video(x=0.0)], 0, T)
+        with_x = video_delay_bound(voices, [video(x=0.005)], 0, T)
+        assert with_x == pytest.approx(base + 0.005)
+
+    def test_overload_gives_infinite_bound(self):
+        voices = [voice(rate=2000)]
+        assert video_delay_bound(voices, [video()], 0, T) == float("inf")
+
+    def test_schedulable_feasible_mix(self):
+        voices = [voice(rate=50, jitter=0.03)]
+        videos = [video(rate=60, burst=5, delay=0.05)]
+        assert all(video_schedulable(voices, videos, T))
+
+    def test_burstiness_raises_delay(self):
+        a = video_delay_bound([], [video(burst=1)], 0, T)
+        b = video_delay_bound([], [video(burst=30)], 0, T)
+        assert b > a
+
+    def test_invalid_flow_params(self):
+        with pytest.raises(ValueError):
+            VideoFlow(avg_rate=0, burstiness=1, max_delay=0.1)
+        with pytest.raises(ValueError):
+            VideoFlow(avg_rate=10, burstiness=-1, max_delay=0.1)
+        with pytest.raises(ValueError):
+            VideoFlow(avg_rate=10, burstiness=1, max_delay=0.1, share=1.5)
+
+
+class TestTheorem2:
+    def test_optimal_order_is_ascending_rate(self):
+        flows = [voice(rate=r) for r in (90, 30, 60)]
+        ordered = optimal_voice_order(flows)
+        assert [f.rate for f in ordered] == [30, 60, 90]
+
+    def test_total_waiting_time_formula(self):
+        # demands 1, 2, 3 in order: waits are 0, 1, 3
+        assert total_waiting_time([1, 2, 3]) == 4.0
+
+    def test_spt_beats_reverse(self):
+        demands = [5.0, 1.0, 3.0]
+        spt = total_waiting_time(sorted(demands))
+        rev = total_waiting_time(sorted(demands, reverse=True))
+        assert spt < rev
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ValueError):
+            total_waiting_time([1.0, -2.0])
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        demands=st.lists(
+            st.floats(min_value=0.0, max_value=100.0), min_size=2, max_size=12
+        )
+    )
+    def test_property_spt_is_optimal(self, demands):
+        """Theorem 2: ascending order minimizes total waiting time over
+        every permutation reachable by adjacent swaps (= all of them)."""
+        import itertools
+
+        spt = total_waiting_time(sorted(demands))
+        if len(demands) <= 6:
+            best = min(
+                total_waiting_time(p) for p in itertools.permutations(demands)
+            )
+            assert spt == pytest.approx(best)
+        # random single swap never improves on SPT
+        order = sorted(demands)
+        for i in range(len(order) - 1):
+            swapped = order.copy()
+            swapped[i], swapped[i + 1] = swapped[i + 1], swapped[i]
+            assert total_waiting_time(swapped) >= spt - 1e-9
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    rates=st.lists(st.floats(min_value=1, max_value=200), min_size=1, max_size=8),
+    jitter=st.floats(min_value=0.005, max_value=0.2),
+)
+def test_property_voice_bound_monotone_in_prefix(rates, jitter):
+    """W_i grows with i: serving later never shrinks the bound."""
+    flows = [voice(rate=r, jitter=jitter) for r in sorted(rates)]
+    bounds = [voice_response_bound(flows, i, T) for i in range(len(flows))]
+    assert all(b2 >= b1 for b1, b2 in zip(bounds, bounds[1:]))

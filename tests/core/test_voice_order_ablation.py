@@ -1,0 +1,49 @@
+"""Tests for the voice-order ablation knob (Theorem 2 variants)."""
+
+import pytest
+
+from repro.core import TokenPolicy
+from repro.core.admission import Session
+from repro.sim import Simulator
+from repro.traffic import VoiceParams
+
+
+def vs(sid, rate):
+    return Session(sid, VoiceParams(rate=rate, max_jitter=0.1), False, 0.0)
+
+
+def order_of(policy):
+    return [s.station_id for s in policy.voice]
+
+
+def test_ascending_is_theorem2(tmp_path=None):
+    tp = TokenPolicy(Simulator(), voice_order="ascending")
+    for sid, rate in (("a", 50), ("b", 20), ("c", 80), ("d", 35)):
+        tp.add_session(vs(sid, rate))
+    assert order_of(tp) == ["b", "d", "a", "c"]
+
+
+def test_descending_reverses():
+    tp = TokenPolicy(Simulator(), voice_order="descending")
+    for sid, rate in (("a", 50), ("b", 20), ("c", 80)):
+        tp.add_session(vs(sid, rate))
+    assert order_of(tp) == ["c", "a", "b"]
+
+
+def test_arrival_order_preserves_admission_sequence():
+    tp = TokenPolicy(Simulator(), voice_order="arrival")
+    for sid, rate in (("a", 50), ("b", 20), ("c", 80)):
+        tp.add_session(vs(sid, rate))
+    assert order_of(tp) == ["a", "b", "c"]
+
+
+def test_equal_rates_stable_in_ascending():
+    tp = TokenPolicy(Simulator(), voice_order="ascending")
+    for sid in ("x", "y", "z"):
+        tp.add_session(vs(sid, 25))
+    assert order_of(tp) == ["x", "y", "z"]
+
+
+def test_invalid_order_rejected():
+    with pytest.raises(ValueError):
+        TokenPolicy(Simulator(), voice_order="random")

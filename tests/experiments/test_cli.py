@@ -1,0 +1,51 @@
+"""Tests for the ``python -m repro`` command-line front end."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_tables_command(capsys):
+    assert main(["tables"]) == 0
+    out = capsys.readouterr().out
+    assert "Table I" in out
+    assert "Table II" in out
+    assert "0-3" in out  # the paper's example window
+
+
+def test_quick_command_runs_short_scenario(capsys):
+    assert main(["quick", "--time", "6", "--seed", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "voice_delay_mean" in out
+    assert "dropping_probability" in out
+
+
+def test_quick_command_scheme_choice(capsys):
+    assert main(["quick", "--time", "6", "--scheme", "conventional"]) == 0
+    out = capsys.readouterr().out
+    assert "scheme: conventional" in out
+
+
+def test_fig5_command(capsys):
+    assert main(["fig5", "--time", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig. 5" in out
+    assert "jitter bound" in out
+
+
+def test_sweep_command_prints_all_figures(capsys):
+    assert main(["sweep", "--loads", "0.5", "--seeds", "1", "--time", "8"]) == 0
+    out = capsys.readouterr().out
+    for name in ("fig6", "fig7", "fig8", "fig9", "fig10", "fig11"):
+        assert name in out
+    assert "dropping_probability" in out
+
+
+def test_invalid_scheme_rejected():
+    with pytest.raises(SystemExit):
+        main(["quick", "--scheme", "bogus"])
+
+
+def test_missing_command_rejected():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,55 @@
+"""Shared fixtures/helpers for MAC tests."""
+
+import numpy as np
+import pytest
+
+from repro.mac import BackoffPolicy, Nav
+from repro.phy import BitErrorModel, Channel, PhyTiming
+from repro.sim import RandomStreams, Simulator
+
+
+class FixedBackoff(BackoffPolicy):
+    """Deterministic policy: pops preset slot counts (then repeats last)."""
+
+    def __init__(self, slots):
+        self.slots = list(slots)
+        self.draws = []
+        self.observed = []
+        self.outcomes = []
+
+    def draw_slots(self, level, stage, rng):
+        value = self.slots.pop(0) if len(self.slots) > 1 else self.slots[0]
+        self.draws.append((level, stage, value))
+        return value
+
+    def observe_slots(self, idle_slots, busy_events):
+        self.observed.append((idle_slots, busy_events))
+
+    def observe_outcome(self, success):
+        self.outcomes.append(success)
+
+
+class MacWorld:
+    """A simulator + channel + timing bundle with helpers."""
+
+    def __init__(self, ber=0.0, seed=0):
+        self.sim = Simulator()
+        self.timing = PhyTiming()
+        self.streams = RandomStreams(seed)
+        self.channel = Channel(
+            self.sim, BitErrorModel(ber, self.streams.get("channel"))
+        )
+        self.nav = Nav()
+
+    def rng(self, name):
+        return self.streams.get(name)
+
+
+@pytest.fixture
+def world():
+    return MacWorld()
+
+
+@pytest.fixture
+def noisy_world():
+    return MacWorld(ber=2e-4, seed=3)

@@ -1,0 +1,123 @@
+"""Tests for the RTS/CTS handshake in the DCF engine."""
+
+import pytest
+
+from repro.mac import DcfTransmitter, Frame, FrameType
+from repro.mac.backoff import LEVEL_NEW_OR_DATA
+
+from .conftest import FixedBackoff, MacWorld
+
+
+def make_tx(world, sid="sta", slots=(0,), threshold=4000, retry_limit=7):
+    policy = FixedBackoff(list(slots))
+    tx = DcfTransmitter(
+        world.sim, world.channel, world.timing, policy,
+        world.rng(sid), sid, world.nav,
+        retry_limit=retry_limit, rts_threshold=threshold,
+    )
+    return tx
+
+
+def data(sid, bits):
+    return Frame(FrameType.DATA, src=sid, dest="ap", payload_bits=bits)
+
+
+def test_small_frames_skip_rts(world):
+    tx = make_tx(world, threshold=4000)
+    results = []
+    tx.enqueue(data("sta", 1000), LEVEL_NEW_OR_DATA, results.append)
+    world.sim.run()
+    assert results == [True]
+    assert tx.stats.rts_handshakes == 0
+
+
+def test_large_frames_use_rts(world):
+    tx = make_tx(world, threshold=4000)
+    results = []
+    tx.enqueue(data("sta", 8000), LEVEL_NEW_OR_DATA, results.append)
+    world.sim.run()
+    assert results == [True]
+    assert tx.stats.rts_handshakes == 1
+
+
+def test_rts_exchange_duration(world):
+    """RTS + SIFS + CTS + SIFS + DATA + SIFS + ACK, started at DIFS+slots."""
+    world_t = world.timing
+    tx = make_tx(world, slots=(2,), threshold=4000)
+    done_at = []
+    tx.enqueue(data("sta", 8000), LEVEL_NEW_OR_DATA,
+               lambda ok: done_at.append(world.sim.now))
+    world.sim.run()
+    rts = Frame(FrameType.RTS, src="s", dest="d").airtime(world_t)
+    cts = Frame(FrameType.CTS, src="s", dest="d").airtime(world_t)
+    start = world_t.difs + 2 * world_t.slot
+    expected = (
+        start + rts + world_t.sifs + cts + world_t.sifs
+        + world_t.frame_airtime(8000) + world_t.sifs + world_t.ack_time()
+    )
+    assert done_at[0] == pytest.approx(expected, rel=1e-9)
+
+
+def test_collision_costs_only_rts():
+    """With RTS protection a collision loses only the short RTS frames,
+    so the whole episode (collision + both retries) finishes sooner
+    than the identical scenario without RTS."""
+
+    def run(threshold):
+        world = MacWorld()
+        tx_a = make_tx(world, "a", slots=(0, 1), threshold=threshold)
+        tx_b = make_tx(world, "b", slots=(0, 4), threshold=threshold)
+        results = []
+        tx_a.enqueue(data("a", 12000), LEVEL_NEW_OR_DATA, results.append)
+        tx_b.enqueue(data("b", 12000), LEVEL_NEW_OR_DATA, results.append)
+        world.sim.run()
+        assert results == [True, True]
+        assert tx_a.stats.failures == 1  # the initial collision
+        return world.sim.now
+
+    with_rts = run(threshold=4000)
+    without_rts = run(threshold=float("inf"))
+    assert with_rts < without_rts
+
+
+def test_rts_retry_respects_limit():
+    world = MacWorld()
+    tx_a = make_tx(world, "a", slots=(0,), threshold=100, retry_limit=2)
+    tx_b = make_tx(world, "b", slots=(0,), threshold=100, retry_limit=2)
+    results = []
+    tx_a.enqueue(data("a", 8000), LEVEL_NEW_OR_DATA, results.append)
+    tx_b.enqueue(data("b", 8000), LEVEL_NEW_OR_DATA, results.append)
+    world.sim.run()
+    assert results == [False, False]
+    assert tx_a.stats.drops == 1
+
+
+def test_cts_corruption_fails_attempt():
+    # BER high enough to kill some control frames over repeated tries
+    world = MacWorld(ber=2e-3, seed=5)
+    tx = make_tx(world, threshold=1000, retry_limit=7)
+    results = []
+    tx.enqueue(data("sta", 4000), LEVEL_NEW_OR_DATA, results.append)
+    world.sim.run()
+    # the attempt concluded one way or the other without hanging
+    assert len(results) == 1
+
+
+def test_request_frames_never_use_rts(world):
+    tx = make_tx(world, threshold=0)  # everything above 0 bits
+    frame = Frame(FrameType.REQUEST, src="sta", dest="ap")
+    results = []
+    tx.enqueue(frame, LEVEL_NEW_OR_DATA, results.append)
+    world.sim.run()
+    assert results == [True]
+    assert tx.stats.rts_handshakes == 0
+
+
+def test_rts_cts_frame_sizes(world):
+    t = world.timing
+    rts = Frame(FrameType.RTS, src="s", dest="d")
+    cts = Frame(FrameType.CTS, src="s", dest="d")
+    assert rts.total_bits == 160
+    assert cts.total_bits == 112
+    assert rts.airtime(t) > cts.airtime(t)
+    assert rts.airtime(t) < t.frame_airtime(1000)

@@ -1,0 +1,178 @@
+"""Unit tests for the station state machines (paper Fig. 2)."""
+
+import pytest
+
+from repro.mac import DcfTransmitter, FrameType, RealTimeStation, RTState
+from repro.mac.backoff import (
+    LEVEL_HANDOFF,
+    LEVEL_NEW_OR_DATA,
+    LEVEL_REACTIVATION,
+)
+from repro.mac.station import DataStation
+from repro.traffic import Packet, TrafficKind, VoiceParams
+
+from .conftest import FixedBackoff
+
+
+def make_rt(world, sid="rt1", handoff=False, outcomes=None):
+    policy = FixedBackoff([0])
+    dcf = DcfTransmitter(
+        world.sim, world.channel, world.timing, policy,
+        world.rng(sid), sid, world.nav,
+    )
+    sta = RealTimeStation(
+        world.sim, sid, dcf, "ap", TrafficKind.VOICE,
+        VoiceParams(rate=50, max_jitter=0.02),
+        is_handoff=handoff,
+        on_packet_outcome=(outcomes.append if outcomes is not None else None)
+        and (lambda p, ok: outcomes.append((p, ok))),
+    )
+    return sta, dcf, policy
+
+
+def pkt(world, bits=4096, deadline=None):
+    return Packet(
+        created=world.sim.now, bits=bits, source_id="rt1",
+        kind=TrafficKind.VOICE, seq=0, deadline=deadline,
+    )
+
+
+class TestRealTimeStation:
+    def test_initial_state_empty(self, world):
+        sta, _, _ = make_rt(world)
+        assert sta.state == RTState.EMPTY
+        assert not sta.admitted
+
+    def test_admission_request_uses_new_level(self, world):
+        sta, _, policy = make_rt(world)
+        sta.start_admission_request()
+        world.sim.run()
+        assert policy.draws[0][0] == LEVEL_NEW_OR_DATA
+
+    def test_handoff_request_uses_highest_level(self, world):
+        sta, _, policy = make_rt(world, handoff=True)
+        sta.start_admission_request()
+        world.sim.run()
+        assert policy.draws[0][0] == LEVEL_HANDOFF
+
+    def test_reactivation_uses_middle_level(self, world):
+        sta, _, policy = make_rt(world)
+        sta.grant()  # admitted, Empty
+        sta.state = RTState.EMPTY
+        sta.packet_arrival(pkt(world))
+        world.sim.run()
+        assert policy.draws[0][0] == LEVEL_REACTIVATION
+        assert sta.state == RTState.REQUEST
+
+    def test_grant_moves_to_wait(self, world):
+        sta, _, _ = make_rt(world)
+        sta.start_admission_request()
+        sta.grant()
+        assert sta.state == RTState.WAIT
+        assert sta.admitted
+
+    def test_deny_returns_to_empty(self, world):
+        sta, _, _ = make_rt(world)
+        sta.start_admission_request()
+        sta.deny()
+        assert sta.state == RTState.EMPTY
+        assert not sta.admitted
+
+    def test_double_admission_rejected(self, world):
+        sta, _, _ = make_rt(world)
+        sta.grant()
+        with pytest.raises(RuntimeError):
+            sta.start_admission_request()
+
+    def test_cf_response_sets_piggyback_when_backlogged(self, world):
+        sta, _, _ = make_rt(world)
+        sta.grant()
+        sta.buffer.append(pkt(world))
+        sta.buffer.append(pkt(world))
+        frame = sta.cf_response(0.0)
+        assert frame.ftype == FrameType.CF_DATA
+        assert frame.piggyback
+        assert sta.state == RTState.WAIT
+
+    def test_cf_response_zero_piggyback_empties_to_empty_state(self, world):
+        sta, _, _ = make_rt(world)
+        sta.grant()
+        sta.buffer.append(pkt(world))
+        frame = sta.cf_response(0.0)
+        assert not frame.piggyback
+        assert sta.state == RTState.EMPTY
+
+    def test_cf_response_none_when_buffer_empty(self, world):
+        sta, _, _ = make_rt(world)
+        sta.grant()
+        assert sta.cf_response(0.0) is None
+        assert sta.state == RTState.EMPTY
+
+    def test_expired_packets_purged_and_counted(self, world):
+        outcomes = []
+        sta, _, _ = make_rt(world)
+        sta.on_packet_outcome = lambda p, ok: outcomes.append((p.uid, ok))
+        sta.grant()
+        dead = pkt(world, deadline=-1.0)
+        live = pkt(world, deadline=1e9)
+        sta.buffer.extend([dead, live])
+        frame = sta.cf_response(0.0)
+        assert frame.packet is live
+        assert sta.deadline_drops == 1
+        assert dead.expired
+        assert outcomes == [(dead.uid, False)]
+
+    def test_delivery_outcome_marks_completion(self, world):
+        sta, _, _ = make_rt(world)
+        p = pkt(world)
+        sta.delivery_outcome(p, True, 3.5)
+        assert p.completed == 3.5
+        sta.delivery_outcome(pkt(world), False, 4.0)
+        assert sta.error_losses == 1
+
+    def test_eof_blocks_new_arrivals(self, world):
+        sta, _, _ = make_rt(world)
+        sta.grant()
+        sta.end_call()
+        sta.packet_arrival(pkt(world))
+        assert not sta.buffer
+
+    def test_eof_flag_on_last_frame(self, world):
+        sta, _, _ = make_rt(world)
+        sta.grant()
+        sta.buffer.append(pkt(world))
+        sta.end_call()
+        frame = sta.cf_response(0.0)
+        assert frame.info["eof"] is True
+
+    def test_request_failure_returns_to_empty(self, world):
+        # Two stations with identical zero backoff forever -> drop after
+        # retry limit -> the requester falls back to Empty.
+        sta, dcf, _ = make_rt(world, sid="rt1")
+        other, _, _ = make_rt(world, sid="rt2")
+        results = []
+        sta.start_admission_request(results.append)
+        other.start_admission_request(lambda ok: None)
+        world.sim.run()
+        assert results == [False]
+        assert sta.state == RTState.EMPTY
+
+
+class TestDataStation:
+    def test_packets_sent_and_marked_complete(self, world):
+        policy = FixedBackoff([0])
+        dcf = DcfTransmitter(
+            world.sim, world.channel, world.timing, policy,
+            world.rng("d"), "d1", world.nav,
+        )
+        outcomes = []
+        sta = DataStation(world.sim, "d1", dcf, "ap",
+                          on_packet_outcome=lambda p, ok: outcomes.append(ok))
+        p = Packet(created=0.0, bits=8000, source_id="d1",
+                   kind=TrafficKind.DATA, seq=0)
+        sta.packet_arrival(p)
+        world.sim.run()
+        assert outcomes == [True]
+        assert sta.delivered == 1
+        assert p.completed is not None
+        assert p.access_delay() > 0

@@ -1,0 +1,93 @@
+"""Tests for the station's CF-Null / ETA signalling and service margin."""
+
+import pytest
+
+from repro.mac import DcfTransmitter, FrameType, RealTimeStation, RTState
+from repro.mac.backoff import StandardBEB
+from repro.traffic import Packet, TrafficKind, VoiceParams
+
+from .conftest import MacWorld
+
+
+def make_station(world, sid="v0", margin=0.0, rate=25.0):
+    dcf = DcfTransmitter(
+        world.sim, world.channel, world.timing, StandardBEB(8),
+        world.rng(sid), sid, world.nav,
+    )
+    sta = RealTimeStation(
+        world.sim, sid, dcf, "ap", TrafficKind.VOICE,
+        VoiceParams(rate=rate, max_jitter=0.03),
+        service_margin=margin,
+    )
+    return sta
+
+
+def pkt(world, deadline=None, created=None):
+    t = created if created is not None else world.sim.now
+    return Packet(created=t, bits=4096, source_id="v0",
+                  kind=TrafficKind.VOICE, seq=0, deadline=deadline)
+
+
+class TestCfNull:
+    def test_active_station_sends_null_with_eta(self, world):
+        sta = make_station(world, rate=25.0)
+        sta.grant()
+        sta.activity_probe = lambda: True
+        # a packet arrived and was consumed earlier; track its time
+        p = pkt(world)
+        sta.packet_arrival(p)
+        sta.buffer.clear()  # simulate it having been served
+        frame = sta.cf_response(0.01)
+        assert frame is not None
+        assert frame.payload_bits == 0
+        assert frame.piggyback
+        # next packet expected at created + 1/25 = 0.04 -> eta 0.03
+        assert frame.info["next_eta"] == pytest.approx(0.03)
+
+    def test_eta_clamps_at_zero_when_overdue(self, world):
+        sta = make_station(world, rate=25.0)
+        sta.grant()
+        sta.activity_probe = lambda: True
+        sta.packet_arrival(pkt(world, created=0.0))
+        sta.buffer.clear()
+        frame = sta.cf_response(1.0)  # long past created + 1/r
+        assert frame.info["next_eta"] == 0.0
+
+    def test_null_without_arrivals_has_no_eta(self, world):
+        sta = make_station(world)
+        sta.grant()
+        sta.activity_probe = lambda: True
+        frame = sta.cf_response(0.0)
+        assert frame is not None
+        assert frame.info["next_eta"] is None
+
+    def test_inactive_station_returns_none(self, world):
+        sta = make_station(world)
+        sta.grant()
+        sta.activity_probe = lambda: False
+        assert sta.cf_response(0.0) is None
+        assert sta.state == RTState.EMPTY
+
+
+class TestServiceMargin:
+    def test_packet_unservable_within_margin_is_purged(self, world):
+        sta = make_station(world, margin=0.002)
+        sta.grant()
+        # deadline 1 ms away, margin 2 ms: cannot finish in time
+        sta.buffer.append(pkt(world, deadline=world.sim.now + 0.001))
+        assert sta.cf_response(world.sim.now) is None
+        assert sta.deadline_drops == 1
+
+    def test_packet_with_enough_margin_is_served(self, world):
+        sta = make_station(world, margin=0.002)
+        sta.grant()
+        sta.buffer.append(pkt(world, deadline=world.sim.now + 0.01))
+        frame = sta.cf_response(world.sim.now)
+        assert frame is not None
+        assert frame.ftype == FrameType.CF_DATA
+
+    def test_zero_margin_is_legacy_behaviour(self, world):
+        sta = make_station(world, margin=0.0)
+        sta.grant()
+        sta.buffer.append(pkt(world, deadline=world.sim.now + 1e-6))
+        assert sta.cf_response(world.sim.now) is not None

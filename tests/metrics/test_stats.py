@@ -1,0 +1,152 @@
+"""Unit + property tests for the statistics primitives."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import JitterTracker, OnlineStats, WindowedRatio
+
+
+class TestOnlineStats:
+    def test_empty(self):
+        s = OnlineStats()
+        assert s.count == 0
+        assert s.mean == 0.0
+        assert s.variance == 0.0
+
+    def test_single_value(self):
+        s = OnlineStats()
+        s.add(5.0)
+        assert s.mean == 5.0
+        assert s.variance == 0.0
+        assert s.min == s.max == 5.0
+
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        xs = rng.normal(3.0, 2.0, 500)
+        s = OnlineStats()
+        for x in xs:
+            s.add(float(x))
+        assert s.mean == pytest.approx(float(np.mean(xs)))
+        assert s.variance == pytest.approx(float(np.var(xs, ddof=1)))
+        assert s.min == pytest.approx(float(np.min(xs)))
+        assert s.max == pytest.approx(float(np.max(xs)))
+
+    def test_merge_equivalent_to_combined(self):
+        rng = np.random.default_rng(1)
+        xs = rng.random(100)
+        a, b, c = OnlineStats(), OnlineStats(), OnlineStats()
+        for x in xs[:40]:
+            a.add(float(x))
+        for x in xs[40:]:
+            b.add(float(x))
+        for x in xs:
+            c.add(float(x))
+        a.merge(b)
+        assert a.count == c.count
+        assert a.mean == pytest.approx(c.mean)
+        assert a.variance == pytest.approx(c.variance)
+
+    def test_merge_with_empty(self):
+        a = OnlineStats()
+        b = OnlineStats()
+        b.add(1.0)
+        a.merge(b)
+        assert a.mean == 1.0
+        b.merge(OnlineStats())
+        assert b.count == 1
+
+    def test_as_dict(self):
+        s = OnlineStats()
+        s.add(2.0)
+        d = s.as_dict()
+        assert d["count"] == 1 and d["mean"] == 2.0
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=2, max_size=50))
+    def test_property_variance_nonnegative_and_bounds(self, xs):
+        s = OnlineStats()
+        for x in xs:
+            s.add(x)
+        assert s.variance >= -1e-6
+        assert s.min <= s.mean <= s.max + 1e-9
+
+
+class TestJitterTracker:
+    def test_first_packet_records_nothing(self):
+        j = JitterTracker()
+        j.delivered(0.0, 0.001)
+        assert j.stats.count == 0
+
+    def test_constant_lag_zero_jitter(self):
+        j = JitterTracker()
+        for k in range(5):
+            j.delivered(k * 0.02, k * 0.02 + 0.001)
+        assert j.max_jitter == pytest.approx(0.0)
+
+    def test_varying_lag_measured(self):
+        j = JitterTracker()
+        j.delivered(0.00, 0.001)
+        j.delivered(0.02, 0.025)  # lag grew by 4 ms
+        assert j.max_jitter == pytest.approx(0.004)
+
+    def test_reset_breaks_chain(self):
+        j = JitterTracker()
+        j.delivered(0.0, 0.001)
+        j.reset_stream()
+        j.delivered(10.0, 10.5)  # would be huge jitter if chained
+        assert j.stats.count == 0
+
+    def test_departure_before_arrival_rejected(self):
+        with pytest.raises(ValueError):
+            JitterTracker().delivered(1.0, 0.5)
+
+
+class TestWindowedRatio:
+    def test_empty_ratio_zero(self):
+        assert WindowedRatio().ratio() == 0.0
+        assert WindowedRatio().total_ratio() == 0.0
+
+    def test_basic_counting(self):
+        w = WindowedRatio()
+        for flag in (True, False, False, True):
+            w.record(flag)
+        assert w.ratio() == pytest.approx(0.5)
+        assert w.total_ratio() == pytest.approx(0.5)
+
+    def test_decay_preserves_ratio_but_fades_weight(self):
+        w = WindowedRatio()
+        w.record(True)
+        w.record(False)
+        w.decay(0.5)
+        assert w.ratio() == pytest.approx(0.5)
+        w.record(False)  # new evidence now outweighs old
+        assert w.ratio() < 0.5
+
+    def test_empty_window_after_decay_keeps_memory(self):
+        w = WindowedRatio()
+        w.record(True)
+        w.decay(0.9)
+        # no new trials: the old drop is still remembered
+        assert w.ratio() == pytest.approx(1.0)
+
+    def test_totals_unaffected_by_decay(self):
+        w = WindowedRatio()
+        w.record(True)
+        w.decay(0.1)
+        w.record(False)
+        assert w.total_ratio() == pytest.approx(0.5)
+
+    def test_restart_clears_window_only(self):
+        w = WindowedRatio()
+        w.record(True)
+        w.restart_window()
+        assert w.ratio() == 0.0
+        assert w.total_ratio() == 1.0
+
+    def test_invalid_gamma(self):
+        with pytest.raises(ValueError):
+            WindowedRatio().decay(1.0)

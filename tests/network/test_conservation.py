@@ -1,0 +1,112 @@
+"""End-to-end invariants: nothing is lost, duplicated, or time-warped.
+
+These run full scenarios and check conservation laws that any
+discrete-event queueing simulation must satisfy — the tests that catch
+double-counting, phantom deliveries, and deadline-semantics drift.
+"""
+
+import pytest
+
+from repro.network import BssScenario, ScenarioConfig
+from repro.traffic import TrafficKind
+
+
+@pytest.fixture(scope="module", params=["proposed", "conventional"])
+def scenario(request):
+    """One moderately loaded run per scheme, fully instrumented."""
+    packets = []
+    sc = BssScenario(
+        ScenarioConfig(
+            scheme=request.param,
+            seed=9,
+            sim_time=25.0,
+            warmup=0.0,  # count everything
+            load=1.5,
+            new_voice_rate=0.3,
+            new_video_rate=0.2,
+            handoff_voice_rate=0.15,
+            handoff_video_rate=0.1,
+            mean_holding=10.0,
+            n_data_stations=3,
+        )
+    )
+    original = sc.collector.packet_outcome
+
+    def spy(packet, delivered):
+        packets.append((packet, delivered))
+        original(packet, delivered)
+
+    sc.collector.packet_outcome = spy
+    # rebind the already-constructed stations' callbacks
+    for sta in sc.data_stations:
+        sta.on_packet_outcome = spy
+    sc.call_generator.collector = sc.collector
+    results = sc.run()
+    return sc, results, packets
+
+
+def test_every_outcome_reported_once(scenario):
+    _, _, packets = scenario
+    uids = [p.uid for p, _ in packets]
+    assert len(uids) == len(set(uids)), "a packet's fate was reported twice"
+
+
+def test_delivered_packets_have_causal_timestamps(scenario):
+    _, _, packets = scenario
+    for p, delivered in packets:
+        if delivered:
+            assert p.completed is not None
+            assert p.completed >= p.created
+
+
+def test_delivered_realtime_packets_met_their_deadline(scenario):
+    _, _, packets = scenario
+    for p, delivered in packets:
+        if delivered and p.deadline is not None:
+            assert p.completed <= p.deadline + 1e-9, (
+                f"{p.source_id} packet delivered {p.completed - p.deadline}s late"
+            )
+
+
+def test_collector_totals_match_outcome_stream(scenario):
+    sc, results, packets = scenario
+    for kind in TrafficKind:
+        delivered = sum(
+            1 for p, ok in packets if ok and p.kind == kind
+        )
+        lost = sum(1 for p, ok in packets if not ok and p.kind == kind)
+        assert results[f"{kind.value}_delivered"] == delivered
+        assert results[f"{kind.value}_losses"] == lost
+
+
+def test_no_packet_outcome_after_simulation_end(scenario):
+    sc, _, packets = scenario
+    for p, ok in packets:
+        if ok:
+            assert p.completed <= sc.config.sim_time + 1e-9
+
+
+def test_call_accounting_balances(scenario):
+    sc, results, _ = scenario
+    gen = sc.call_generator
+    # every resolved attempt is admitted, blocked, or dropped
+    resolved = (
+        gen.admitted["new"] + gen.admitted["handoff"] + gen.blocked + gen.dropped
+    )
+    unresolved = sum(1 for c in gen.active.values() if not c.resolved)
+    assert resolved + unresolved == (
+        gen.attempts["new"] + gen.attempts["handoff"]
+    )
+
+
+def test_probabilities_within_unit_interval(scenario):
+    _, results, _ = scenario
+    for key in ("dropping_probability", "blocking_probability",
+                "channel_busy_fraction", "goodput_utilization"):
+        assert 0.0 <= results[key] <= 1.0
+
+
+def test_channel_time_accounting(scenario):
+    sc, _, _ = scenario
+    # busy time can never exceed elapsed time
+    assert 0 <= sc.channel.busy_time <= sc.config.sim_time + 1e-9

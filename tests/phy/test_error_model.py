@@ -1,0 +1,56 @@
+"""Unit tests for the (1-BER)^L frame-error model."""
+
+import numpy as np
+import pytest
+
+from repro.phy import BitErrorModel
+
+
+def make(ber, seed=0):
+    return BitErrorModel(ber, np.random.Generator(np.random.PCG64(seed)))
+
+
+def test_zero_ber_always_survives():
+    model = make(0.0)
+    assert model.success_probability(10**6) == 1.0
+    assert all(model.frame_survives(10**6) for _ in range(100))
+
+
+def test_success_probability_formula():
+    model = make(1e-4)
+    assert model.success_probability(1000) == pytest.approx((1 - 1e-4) ** 1000)
+
+
+def test_success_probability_monotone_in_length():
+    model = make(1e-5)
+    assert model.success_probability(100) > model.success_probability(10_000)
+
+
+def test_zero_length_frame_always_ok():
+    assert make(0.5).success_probability(0) == 1.0
+
+
+def test_invalid_ber_rejected():
+    for bad in (-0.1, 1.0, 1.5):
+        with pytest.raises(ValueError):
+            make(bad)
+
+
+def test_negative_frame_size_rejected():
+    with pytest.raises(ValueError):
+        make(0.1).success_probability(-5)
+
+
+def test_empirical_rate_matches_probability():
+    model = make(1e-3, seed=42)
+    bits = 1000
+    p = model.success_probability(bits)
+    n = 20_000
+    survived = sum(model.frame_survives(bits) for _ in range(n))
+    assert survived / n == pytest.approx(p, abs=0.02)
+
+
+def test_survival_is_reproducible_from_seed():
+    a = [make(1e-3, seed=7).frame_survives(5000) for _ in range(1)]
+    b = [make(1e-3, seed=7).frame_survives(5000) for _ in range(1)]
+    assert a == b

@@ -1,0 +1,83 @@
+"""Determinism and stress tests for the DES kernel."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Simulator
+
+
+def run_random_workload(seed, n_timers=200):
+    """A tangle of timers that spawn more timers; returns the event log."""
+    rng = np.random.Generator(np.random.PCG64(seed))
+    sim = Simulator()
+    log = []
+
+    def fire(tag, depth):
+        log.append((round(sim.now, 12), tag))
+        if depth > 0:
+            for k in range(int(rng.integers(0, 3))):
+                sim.call_in(
+                    float(rng.random() * 0.5) + 1e-9, fire, f"{tag}.{k}", depth - 1
+                )
+
+    for i in range(n_timers):
+        sim.call_at(float(rng.random() * 10.0), fire, str(i), 2)
+    sim.run()
+    return log
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31))
+def test_property_runs_are_bit_reproducible(seed):
+    assert run_random_workload(seed) == run_random_workload(seed)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31))
+def test_property_time_never_goes_backwards(seed):
+    log = run_random_workload(seed)
+    times = [t for t, _ in log]
+    assert times == sorted(times)
+
+
+def test_large_heap_drains_completely():
+    sim = Simulator()
+    fired = [0]
+    for i in range(20_000):
+        sim.call_at(i * 1e-4, lambda: fired.__setitem__(0, fired[0] + 1))
+    sim.run()
+    assert fired[0] == 20_000
+    assert sim.peek() == float("inf")
+
+
+def test_cancellations_under_load():
+    sim = Simulator()
+    fired = []
+    handles = [
+        sim.call_at(1.0 + i * 1e-6, fired.append, i) for i in range(1000)
+    ]
+    for h in handles[::2]:
+        h.cancel()
+    sim.run()
+    assert fired == list(range(1, 1000, 2))
+
+
+def test_interleaved_processes_and_timers_deterministic():
+    def build():
+        sim = Simulator()
+        log = []
+
+        def proc(tag, period):
+            while sim.now < 5.0:
+                yield period
+                log.append((round(sim.now, 10), tag))
+
+        for i, period in enumerate((0.1, 0.25, 0.3)):
+            sim.process(proc(f"p{i}", period))
+        for i in range(10):
+            sim.call_at(i * 0.5 + 0.01, log.append, (round(sim.now, 10), f"t{i}"))
+        sim.run(until=5.0)
+        return log
+
+    assert build() == build()

@@ -1,0 +1,175 @@
+"""Unit tests for Resource and Store primitives."""
+
+import pytest
+
+from repro.sim import Resource, Simulator, Store
+
+
+def test_resource_grants_immediately_when_free():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    log = []
+
+    def body():
+        req = res.request()
+        yield req
+        log.append(sim.now)
+        res.release(req)
+
+    sim.process(body())
+    sim.run()
+    assert log == [0.0]
+
+
+def test_resource_fifo_queueing():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    log = []
+
+    def body(tag, hold):
+        req = res.request()
+        yield req
+        log.append((tag, sim.now))
+        yield hold
+        res.release(req)
+
+    sim.process(body("a", 2.0))
+    sim.process(body("b", 2.0))
+    sim.process(body("c", 2.0))
+    sim.run()
+    assert log == [("a", 0.0), ("b", 2.0), ("c", 4.0)]
+
+
+def test_resource_capacity_two_runs_pairs():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    log = []
+
+    def body(tag):
+        req = res.request()
+        yield req
+        log.append((tag, sim.now))
+        yield 1.0
+        res.release(req)
+
+    for tag in "abcd":
+        sim.process(body(tag))
+    sim.run()
+    assert log == [("a", 0.0), ("b", 0.0), ("c", 1.0), ("d", 1.0)]
+
+
+def test_resource_counts():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+
+    def holder():
+        req = res.request()
+        yield req
+        assert res.count == 1
+        yield 1.0
+        res.release(req)
+
+    def waiter():
+        req = res.request()
+        yield req
+        res.release(req)
+
+    sim.process(holder())
+    sim.process(waiter())
+    sim.call_at(0.5, lambda: None)
+    sim.run(until=0.5)
+    assert res.count == 1
+    assert res.queued == 1
+    sim.run()
+    assert res.count == 0
+
+
+def test_resource_invalid_capacity():
+    with pytest.raises(ValueError):
+        Resource(Simulator(), capacity=0)
+
+
+def test_release_unheld_request_raises():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    req = res.request()
+    sim.run()
+    res.release(req)
+    with pytest.raises(RuntimeError):
+        res.release(req)
+
+
+def test_store_put_then_get_fifo():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def producer():
+        for i in range(3):
+            yield store.put(i)
+            yield 1.0
+
+    def consumer():
+        for _ in range(3):
+            item = yield store.get()
+            got.append((item, sim.now))
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert [i for i, _ in got] == [0, 1, 2]
+
+
+def test_store_get_blocks_until_item_available():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer():
+        item = yield store.get()
+        got.append((item, sim.now))
+
+    def producer():
+        yield 3.0
+        yield store.put("late")
+
+    sim.process(consumer())
+    sim.process(producer())
+    sim.run()
+    assert got == [("late", 3.0)]
+
+
+def test_store_bounded_put_blocks_when_full():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    events = []
+
+    def producer():
+        yield store.put("a")
+        events.append(("put-a", sim.now))
+        yield store.put("b")
+        events.append(("put-b", sim.now))
+
+    def consumer():
+        yield 5.0
+        item = yield store.get()
+        events.append(("got-" + item, sim.now))
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert ("put-a", 0.0) in events
+    assert ("put-b", 5.0) in events
+
+
+def test_store_len_tracks_items():
+    sim = Simulator()
+    store = Store(sim)
+    store.put("x")
+    sim.run()
+    assert len(store) == 1
+
+
+def test_store_invalid_capacity():
+    with pytest.raises(ValueError):
+        Store(Simulator(), capacity=0)

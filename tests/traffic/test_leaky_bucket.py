@@ -1,0 +1,131 @@
+"""Unit and property tests for the leaky-bucket utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traffic import LeakyBucket, conforms, tightest_sigma
+
+
+class TestLeakyBucket:
+    def test_starts_full(self):
+        lb = LeakyBucket(rho=1.0, sigma=5.0)
+        assert lb.conforming(0.0, 5.0)
+        assert not lb.conforming(0.0, 5.1)
+
+    def test_refills_at_rho(self):
+        lb = LeakyBucket(rho=2.0, sigma=4.0)
+        assert lb.consume(0.0, 4.0)
+        assert not lb.conforming(0.5, 2.0)  # only 1 token back
+        assert lb.conforming(1.0, 2.0)
+
+    def test_never_exceeds_depth(self):
+        lb = LeakyBucket(rho=10.0, sigma=3.0)
+        lb.consume(0.0, 0.0)
+        assert not lb.conforming(100.0, 3.5)
+
+    def test_nonconforming_consume_drains_to_zero(self):
+        lb = LeakyBucket(rho=1.0, sigma=2.0)
+        assert not lb.consume(0.0, 5.0)
+        assert not lb.conforming(0.0, 0.5)
+
+    def test_delay_until_conforming(self):
+        lb = LeakyBucket(rho=2.0, sigma=1.0)
+        lb.consume(0.0, 1.0)
+        assert lb.delay_until_conforming(0.0, 1.0) == pytest.approx(0.5)
+        assert lb.delay_until_conforming(10.0, 1.0) == 0.0
+
+    def test_time_backwards_rejected(self):
+        lb = LeakyBucket(rho=1.0, sigma=1.0)
+        lb.consume(5.0)
+        with pytest.raises(ValueError):
+            lb.conforming(4.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            LeakyBucket(rho=0.0, sigma=1.0)
+        with pytest.raises(ValueError):
+            LeakyBucket(rho=1.0, sigma=-1.0)
+
+
+class TestTightestSigma:
+    def test_empty_trace_is_zero(self):
+        assert tightest_sigma([], rho=1.0) == 0.0
+
+    def test_single_arrival(self):
+        # one packet at t: window [t,t] holds 1 packet -> sigma >= 1
+        assert tightest_sigma([3.0], rho=1.0) == pytest.approx(1.0)
+
+    def test_back_to_back_burst(self):
+        # k simultaneous packets need sigma = k
+        assert tightest_sigma([1.0] * 4, rho=5.0) == pytest.approx(4.0)
+
+    def test_perfectly_paced_stream(self):
+        times = [i / 10.0 for i in range(100)]
+        # rate-10 stream against rho=10: each window catches exactly 1 extra
+        assert tightest_sigma(times, rho=10.0) == pytest.approx(1.0)
+
+    def test_slower_than_rho_still_needs_one(self):
+        times = [i * 1.0 for i in range(10)]
+        assert tightest_sigma(times, rho=100.0) == pytest.approx(1.0)
+
+    def test_mid_trace_burst_found(self):
+        times = [0.0, 10.0, 10.0, 10.0, 20.0]
+        assert tightest_sigma(times, rho=0.1) >= 3.0
+
+    def test_counts_respected(self):
+        sigma = tightest_sigma([0.0, 1.0], rho=1.0, counts=[5.0, 5.0])
+        assert sigma == pytest.approx(9.0)  # window [0,1]: 10 pkts - 1 token
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(ValueError):
+            tightest_sigma([2.0, 1.0], rho=1.0)
+
+    def test_mismatched_counts_rejected(self):
+        with pytest.raises(ValueError):
+            tightest_sigma([1.0], rho=1.0, counts=[1.0, 2.0])
+
+    def test_invalid_rho_rejected(self):
+        with pytest.raises(ValueError):
+            tightest_sigma([1.0], rho=0.0)
+
+    def test_conforms_wrapper(self):
+        times = [0.0, 0.0, 0.0]
+        assert conforms(times, rho=1.0, sigma=3.0)
+        assert not conforms(times, rho=1.0, sigma=2.5)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    gaps=st.lists(st.floats(min_value=0.0, max_value=10.0), min_size=1, max_size=60),
+    rho=st.floats(min_value=0.05, max_value=50.0),
+)
+def test_property_trace_conforms_to_its_tightest_sigma(gaps, rho):
+    """A trace is always (rho, sigma*)-conforming and never (rho, sigma*-eps)."""
+    times = list(np.cumsum(gaps))
+    sigma = tightest_sigma(times, rho=rho)
+    assert conforms(times, rho, sigma)
+    # sigma* is at least 1 (a window can always trap one whole packet)
+    assert sigma >= 1.0 - 1e-9
+    if sigma > 1.0 + 1e-6:
+        assert not conforms(times, rho, sigma - 1e-3 * sigma - 1e-9)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    gaps=st.lists(st.floats(min_value=0.001, max_value=5.0), min_size=1, max_size=40),
+    rho=st.floats(min_value=0.1, max_value=20.0),
+    sigma=st.floats(min_value=1.0, max_value=30.0),
+)
+def test_property_bucket_policer_matches_envelope(gaps, rho, sigma):
+    """The online policer accepts a trace iff it meets the (rho,sigma) envelope."""
+    times = list(np.cumsum(gaps))
+    lb = LeakyBucket(rho=rho, sigma=sigma)
+    all_ok = all(lb.consume(t, 1.0) for t in times)
+    envelope_ok = conforms(times, rho, sigma)
+    if all_ok:
+        # policer acceptance implies... policer is one-sided: acceptance of
+        # every packet implies the envelope holds for windows starting at 0
+        # and at every arrival, which is exactly the envelope.
+        assert envelope_ok

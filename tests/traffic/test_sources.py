@@ -1,0 +1,246 @@
+"""Unit tests for the three traffic source models."""
+
+import numpy as np
+import pytest
+
+from repro.sim import RandomStreams, Simulator
+from repro.traffic import (
+    MaglarisVideoSource,
+    OnOffVoiceSource,
+    PoissonDataSource,
+    TrafficKind,
+    VideoParams,
+    VoiceParams,
+)
+
+
+def rng(name="s", seed=0):
+    return RandomStreams(seed).get(name)
+
+
+# ---------------------------------------------------------------- data ----
+class TestPoissonData:
+    def make(self, sim, sink, rate=50.0, **kw):
+        return PoissonDataSource(sim, "data/0", sink, rng(), rate, **kw)
+
+    def test_emits_data_kind(self):
+        sim = Simulator()
+        pkts = []
+        src = self.make(sim, pkts.append)
+        src.start()
+        sim.run(until=1.0)
+        assert pkts and all(p.kind == TrafficKind.DATA for p in pkts)
+
+    def test_arrival_rate_close_to_nominal(self):
+        sim = Simulator()
+        count = [0, 0]  # msdu count approximated by first-fragment count
+
+        def sink(p):
+            count[0] += 1
+            count[1] += p.bits
+
+        src = self.make(sim, sink, rate=100.0)
+        src.start()
+        sim.run(until=50.0)
+        msdus = src.packets_emitted
+        # fragments >= msdus; use emitted bits to check the rate instead
+        assert src.bits_emitted / 50.0 == pytest.approx(100.0 * 1024 * 8, rel=0.15)
+
+    def test_fragmentation_respects_mtu(self):
+        sim = Simulator()
+        pkts = []
+        src = self.make(sim, pkts.append)
+        src.start()
+        sim.run(until=20.0)
+        assert all(p.bits <= src.mtu_bits for p in pkts)
+        assert all(p.bits >= 1 for p in pkts)
+
+    def test_fragment_exact_multiple(self):
+        sim = Simulator()
+        src = self.make(sim, lambda p: None, mtu_bits=100)
+        assert src.fragment(300) == [100, 100, 100]
+        assert src.fragment(250) == [100, 100, 50]
+        assert src.fragment(0) == []
+
+    def test_no_deadline_on_data(self):
+        sim = Simulator()
+        pkts = []
+        src = self.make(sim, pkts.append)
+        src.start()
+        sim.run(until=1.0)
+        assert all(p.deadline is None for p in pkts)
+
+    def test_stop_halts_emission(self):
+        sim = Simulator()
+        pkts = []
+        src = self.make(sim, pkts.append, rate=1000.0)
+        src.start()
+        sim.run(until=0.5)
+        n = len(pkts)
+        src.stop()
+        sim.run(until=1.0)
+        assert len(pkts) == n
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            self.make(Simulator(), lambda p: None, rate=0.0)
+
+    def test_start_idempotent(self):
+        sim = Simulator()
+        src = self.make(sim, lambda p: None)
+        src.start()
+        proc = src.process
+        src.start()
+        assert src.process is proc
+
+
+# ---------------------------------------------------------------- voice ----
+class TestVoice:
+    def params(self, **kw):
+        defaults = dict(rate=50.0, max_jitter=0.02)
+        defaults.update(kw)
+        return VoiceParams(**defaults)
+
+    def make(self, sim, sink, start_talking=False, **kw):
+        return OnOffVoiceSource(
+            sim, "voice/0", sink, rng("v"), self.params(**kw),
+            start_talking=start_talking,
+        )
+
+    def test_emits_voice_kind_with_deadline(self):
+        sim = Simulator()
+        pkts = []
+        src = self.make(sim, pkts.append, start_talking=True)
+        src.start()
+        sim.run(until=2.0)
+        assert pkts
+        assert all(p.kind == TrafficKind.VOICE for p in pkts)
+        assert all(p.deadline == pytest.approx(p.created + 0.02) for p in pkts)
+
+    def test_packets_evenly_spaced_within_spurt(self):
+        sim = Simulator()
+        pkts = []
+        src = self.make(sim, pkts.append, start_talking=True)
+        src.start()
+        sim.run(until=1.0)
+        times = [p.created for p in pkts]
+        gaps = np.diff(times)
+        # within a single spurt every gap is exactly 1/r
+        assert len(gaps) > 0
+        assert np.allclose(gaps[: min(10, len(gaps))], 1 / 50.0)
+
+    def test_activity_factor_converges(self):
+        sim = Simulator()
+        pkts = []
+        src = self.make(sim, pkts.append)
+        src.start()
+        horizon = 2000.0
+        sim.run(until=horizon)
+        expected = self.params().average_rate * horizon
+        assert len(pkts) == pytest.approx(expected, rel=0.1)
+
+    def test_fixed_packet_size(self):
+        sim = Simulator()
+        pkts = []
+        src = self.make(sim, pkts.append, start_talking=True)
+        src.start()
+        sim.run(until=3.0)
+        assert {p.bits for p in pkts} == {self.params().packet_bits}
+
+    def test_average_rate_property(self):
+        p = self.params()
+        assert p.average_rate == pytest.approx(50.0 * 1.35 / (1.35 + 1.5))
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            VoiceParams(rate=-1, max_jitter=0.02)
+        with pytest.raises(ValueError):
+            VoiceParams(rate=50, max_jitter=0.0)
+        with pytest.raises(ValueError):
+            VoiceParams(rate=50, max_jitter=0.02, packet_bits=0)
+        with pytest.raises(ValueError):
+            VoiceParams(rate=50, max_jitter=0.02, mean_on=0)
+
+    def test_silence_produces_no_packets(self):
+        sim = Simulator()
+        pkts = []
+        # extremely long silence first
+        src = OnOffVoiceSource(
+            sim, "voice/0", pkts.append, rng("v2"),
+            VoiceParams(rate=50, max_jitter=0.02, mean_off=1e9),
+            start_talking=False,
+        )
+        src.start()
+        sim.run(until=100.0)
+        assert pkts == []
+
+
+# ---------------------------------------------------------------- video ----
+class TestVideo:
+    def params(self, **kw):
+        defaults = dict(avg_rate=60.0, burstiness=10.0, max_delay=0.05)
+        defaults.update(kw)
+        return VideoParams(**defaults)
+
+    def make(self, sim, sink, **kw):
+        return MaglarisVideoSource(sim, "video/0", sink, rng("vid"), self.params(**kw))
+
+    def test_emits_video_kind_with_delay_deadline(self):
+        sim = Simulator()
+        pkts = []
+        src = self.make(sim, pkts.append)
+        src.start()
+        sim.run(until=2.0)
+        assert pkts
+        assert all(p.kind == TrafficKind.VIDEO for p in pkts)
+        assert all(p.deadline == pytest.approx(p.created + 0.05) for p in pkts)
+
+    def test_frames_arrive_at_frame_rate(self):
+        sim = Simulator()
+        pkts = []
+        src = self.make(sim, pkts.append)
+        src.start()
+        sim.run(until=2.0)
+        creation_times = sorted({p.created for p in pkts})
+        gaps = np.diff(creation_times)
+        assert np.allclose(gaps, 1 / 25.0)
+
+    def test_long_run_rate_matches_declared_average(self):
+        sim = Simulator()
+        pkts = []
+        src = self.make(sim, pkts.append)
+        src.start()
+        horizon = 500.0
+        sim.run(until=horizon)
+        rate = len(pkts) / horizon
+        assert rate == pytest.approx(60.0, rel=0.15)
+
+    def test_ar_process_stays_nonnegative(self):
+        sim = Simulator()
+        src = self.make(sim, lambda p: None)
+        sizes = [src.next_frame_bits() for _ in range(2000)]
+        assert min(sizes) >= 0
+
+    def test_packets_capped_at_packet_bits(self):
+        sim = Simulator()
+        pkts = []
+        src = self.make(sim, pkts.append)
+        src.start()
+        sim.run(until=5.0)
+        assert all(p.bits <= self.params().packet_bits for p in pkts)
+
+    def test_explicit_pixels_per_frame_respected(self):
+        p = self.params(pixels_per_frame=1234)
+        assert p.resolved_pixels_per_frame() == 1234
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            VideoParams(avg_rate=0, burstiness=1, max_delay=0.05)
+        with pytest.raises(ValueError):
+            VideoParams(avg_rate=10, burstiness=-1, max_delay=0.05)
+        with pytest.raises(ValueError):
+            VideoParams(avg_rate=10, burstiness=1, max_delay=0)
+
+    def test_mean_bit_per_pixel_stationary_value(self):
+        p = self.params()
+        assert p.mean_bit_per_pixel == pytest.approx(0.1108 * 0.572 / (1 - 0.8781))
