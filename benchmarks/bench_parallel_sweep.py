@@ -1,0 +1,88 @@
+"""Serial-vs-parallel sweep: the execution subsystem's speedup bench.
+
+Runs the same scheme x load x seed grid twice through
+``SweepExecutor`` — ``workers=1`` (serial in-process) and
+``workers=4`` (process pool) — and reports the wall-clock speedup.
+Correctness gate: the two runs must produce byte-identical
+(order-normalized) result rows.  The >= 2x speedup assertion only
+applies where it is physically possible (>= 4 CPU cores); on smaller
+machines the bench still verifies identity and records the measured
+ratio.
+"""
+
+import json
+import os
+import time
+
+from repro.exec import ExecutorConfig, SweepExecutor
+from repro.experiments import format_table, sweep_grid
+
+from conftest import save_artifact
+
+GRID_SCHEMES = ("proposed", "conventional")
+GRID_LOADS = (0.5, 3.0)
+GRID_SEEDS = (1, 2)
+GRID_SIM_TIME = 60.0
+GRID_WARMUP = 6.0
+PARALLEL_WORKERS = 4
+
+
+def _timed_run(workers: int):
+    executor = SweepExecutor(ExecutorConfig(workers=workers))
+    grid = sweep_grid(
+        GRID_SCHEMES, GRID_LOADS, GRID_SEEDS, GRID_SIM_TIME, GRID_WARMUP
+    )
+    start = time.perf_counter()
+    rows = executor.run(grid)
+    return rows, time.perf_counter() - start, executor.summary()
+
+
+def test_parallel_sweep_speedup():
+    serial_rows, serial_wall, serial_summary = _timed_run(workers=1)
+    parallel_rows, parallel_wall, parallel_summary = _timed_run(
+        workers=PARALLEL_WORKERS
+    )
+
+    # byte-identical rows: same grid, same seeds, same bytes — the
+    # process pool must not perturb a single result
+    canon = lambda rows: [json.dumps(r, sort_keys=True) for r in rows]  # noqa: E731
+    assert canon(serial_rows) == canon(parallel_rows)
+
+    speedup = serial_wall / parallel_wall if parallel_wall > 0 else float("inf")
+    cores = os.cpu_count() or 1
+    save_artifact(
+        "parallel_sweep.txt",
+        format_table(
+            [
+                {
+                    "mode": "serial (workers=1)",
+                    "wall (s)": serial_wall,
+                    "utilization": serial_summary["worker_utilization"],
+                    "sim events": serial_summary["sim_events"],
+                },
+                {
+                    "mode": f"parallel (workers={PARALLEL_WORKERS})",
+                    "wall (s)": parallel_wall,
+                    "utilization": parallel_summary["worker_utilization"],
+                    "sim events": parallel_summary["sim_events"],
+                },
+                {"mode": f"speedup ({cores} cores)", "wall (s)": speedup},
+            ],
+            ["mode", "wall (s)", "utilization", "sim events"],
+            title=(
+                f"Parallel sweep - {len(serial_rows)} points, "
+                "identical rows, serial vs process pool"
+            ),
+        ),
+    )
+
+    assert len(serial_rows) == (
+        len(GRID_SCHEMES) * len(GRID_LOADS) * len(GRID_SEEDS)
+    )
+    assert serial_summary["executed"] == len(serial_rows)
+    # both runs simulated the exact same discrete-event work
+    assert serial_summary["sim_events"] == parallel_summary["sim_events"] > 0
+
+    if cores >= PARALLEL_WORKERS:
+        # with >= 4 cores the pool must halve the wall clock at least
+        assert speedup >= 2.0, f"speedup {speedup:.2f}x < 2x on {cores} cores"

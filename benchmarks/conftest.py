@@ -7,31 +7,41 @@ Rendered tables are also written to ``benchmarks/results/`` so the
 regenerated figures survive pytest's output capture.
 """
 
+import os
 import pathlib
 
 import pytest
 
-from repro.experiments import run_sweep
+from repro.exec import ExecutorConfig, SweepExecutor
+from repro.experiments import BENCH_LOADS, EVALUATION_SEEDS, run_sweep
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
-#: the scaled-down evaluation grid (shapes, not absolute magnitudes)
+#: the scaled-down evaluation grid (shapes, not absolute magnitudes);
+#: loads/seeds come from the canonical definitions in
+#: repro.experiments.config so the grids can't drift apart
 SWEEP_SCHEMES = ("proposed", "proposed-multipoll", "conventional")
-SWEEP_LOADS = (0.5, 1.5, 3.0)
-SWEEP_SEEDS = (1, 2, 3)
+SWEEP_LOADS = BENCH_LOADS
+SWEEP_SEEDS = EVALUATION_SEEDS
 SWEEP_SIM_TIME = 80.0
 SWEEP_WARMUP = 8.0
+
+#: process-pool size for the shared sweep; workers=1 and workers=N
+#: produce identical rows, so this only changes wall time
+SWEEP_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
 
 
 @pytest.fixture(scope="session")
 def sweep_rows():
     """Run the shared evaluation sweep once per benchmark session."""
+    executor = SweepExecutor(ExecutorConfig(workers=SWEEP_WORKERS))
     return run_sweep(
         SWEEP_SCHEMES,
         loads=SWEEP_LOADS,
         seeds=SWEEP_SEEDS,
         sim_time=SWEEP_SIM_TIME,
         warmup=SWEEP_WARMUP,
+        executor=executor,
     )
 
 

@@ -71,7 +71,9 @@ def _cmd_fig5(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .exec import ExecutorConfig, SweepExecutor
     from .experiments import (
+        BENCH_LOADS,
         FIGURE_METRICS,
         fig6,
         fig7,
@@ -81,16 +83,42 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         fig11,
         format_table,
         run_sweep,
+        save_results,
     )
 
+    executor = SweepExecutor(
+        ExecutorConfig(
+            workers=args.workers,
+            cache_dir=None if args.no_cache else args.cache_dir,
+            journal=args.journal,
+            resume=args.resume,
+            timeout=args.timeout,
+        ),
+        progress=lambda rec: print(
+            f"  {rec.scheme} load={rec.load} seed={rec.seed} {rec.status}"
+            + (f" [{rec.wall_time:.2f}s]" if rec.status == "executed" else ""),
+            file=sys.stderr,
+        ),
+    )
     rows = run_sweep(
-        ("proposed", "proposed-multipoll", "conventional"),
-        loads=args.loads,
+        tuple(args.schemes),
+        loads=tuple(args.loads) if args.loads else BENCH_LOADS,
         seeds=tuple(range(1, args.seeds + 1)),
         sim_time=args.time,
         warmup=min(8.0, args.time / 8),
-        progress=lambda msg: print(f"  {msg}", file=sys.stderr),
+        executor=executor,
     )
+    summary = executor.summary()
+    print(
+        "  sweep: {total_points} points, {executed} simulated, "
+        "{cache_hits} cached, {resumed} resumed in {wall_time:.1f}s "
+        "(workers={workers}, utilization={worker_utilization:.0%}, "
+        "{sim_events} sim events)".format(**summary),
+        file=sys.stderr,
+    )
+    if args.out:
+        path = save_results(rows, args.out)
+        print(f"  rows archived to {path}", file=sys.stderr)
     for name, fn in [
         ("fig6", fig6), ("fig7", fig7), ("fig8", fig8),
         ("fig9", fig9), ("fig10", fig10), ("fig11", fig11),
@@ -100,6 +128,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print()
         print(format_table(table, cols, title=name))
     return 0
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -123,10 +158,28 @@ def main(argv: list[str] | None = None) -> int:
     f5.add_argument("--seed", type=int, default=1)
 
     sweep = sub.add_parser("sweep", help="run the Figs. 6-11 sweep")
-    sweep.add_argument("--loads", type=float, nargs="+",
-                       default=[0.5, 1.5, 3.0])
+    sweep.add_argument("--loads", type=float, nargs="+", default=None,
+                       help="load multipliers (default: the benchmark grid)")
     sweep.add_argument("--seeds", type=int, default=2)
     sweep.add_argument("--time", type=float, default=60.0)
+    sweep.add_argument("--schemes", nargs="+",
+                       default=["proposed", "proposed-multipoll", "conventional"],
+                       choices=["proposed", "proposed-multipoll", "conventional"],
+                       help="subset of schemes to sweep")
+    sweep.add_argument("--workers", type=_positive_int, default=1,
+                       help="process-pool size (1 = serial in-process)")
+    sweep.add_argument("--resume", action="store_true",
+                       help="skip points already in the checkpoint journal")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="disable the content-addressed result cache")
+    sweep.add_argument("--cache-dir", default=".repro-cache",
+                       help="result cache directory (default: .repro-cache)")
+    sweep.add_argument("--journal", default=".repro-cache/sweep-journal.jsonl",
+                       help="checkpoint journal path (JSON-lines)")
+    sweep.add_argument("--timeout", type=float, default=None,
+                       help="per-point wall-clock budget in s (pool mode)")
+    sweep.add_argument("--out", default=None,
+                       help="also archive result rows to this JSON-lines file")
 
     args = parser.parse_args(argv)
     handlers = {

@@ -1,0 +1,46 @@
+"""Parallel experiment execution: process-pool sweeps, caching, resume.
+
+This package owns *how* simulation points get executed, sitting
+between the scenario layer (`repro.network`) and the evaluation
+harness (`repro.experiments`):
+
+* :class:`SweepExecutor` / :class:`ExecutorConfig` — serial or
+  process-pool execution with chunked dispatch, per-point timeout and
+  bounded retry;
+* :class:`ResultCache` — content-addressed result rows under
+  ``.repro-cache/`` keyed by :func:`config_key`;
+* :class:`SweepJournal` — JSON-lines checkpoint of completed points,
+  enabling kill-and-resume;
+* :class:`RunTelemetry` / :class:`PointRecord` — per-point progress
+  stream and the final summary dict.
+"""
+
+from .cache import DEFAULT_CACHE_DIR, ResultCache
+from .executor import (
+    ExecutorConfig,
+    PointFailure,
+    SweepExecutionError,
+    SweepExecutor,
+    default_point_fn,
+)
+from .hashing import KEY_FORMAT, canonical_json, config_key, jsonable, normalize_row
+from .journal import SweepJournal
+from .telemetry import PointRecord, RunTelemetry
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "ResultCache",
+    "ExecutorConfig",
+    "PointFailure",
+    "SweepExecutionError",
+    "SweepExecutor",
+    "default_point_fn",
+    "KEY_FORMAT",
+    "canonical_json",
+    "config_key",
+    "jsonable",
+    "normalize_row",
+    "SweepJournal",
+    "PointRecord",
+    "RunTelemetry",
+]

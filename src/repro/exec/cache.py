@@ -1,0 +1,89 @@
+"""Content-addressed result cache: config hash -> JSON row on disk.
+
+Re-running a figure only simulates points whose config changed; every
+other point is served from ``.repro-cache/results/<key>.json``.  Each
+entry stores the originating config dict alongside the row, so a cache
+directory is self-describing and auditable with nothing but ``jq``.
+
+Writes go through a temp file + ``os.replace`` so a crash mid-write
+can never leave a truncated entry behind; corrupt or unreadable
+entries are treated as misses and overwritten on the next run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import typing
+
+from .hashing import KEY_FORMAT, canonical_json, jsonable
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from ..network.bss import ScenarioConfig
+
+__all__ = ["DEFAULT_CACHE_DIR", "ResultCache"]
+
+#: conventional cache location, relative to the invoking directory
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+class ResultCache:
+    """Directory of ``<key>.json`` result rows keyed by config hash."""
+
+    def __init__(self, root: str | pathlib.Path = DEFAULT_CACHE_DIR) -> None:
+        self.root = pathlib.Path(root)
+        self.results_dir = self.root / "results"
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.results_dir / f"{key}.json"
+
+    def get(self, key: str) -> dict[str, typing.Any] | None:
+        """Return the cached row for ``key``, or ``None`` on a miss."""
+        path = self._path(key)
+        try:
+            entry = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if entry.get("format") != KEY_FORMAT or "row" not in entry:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry["row"]
+
+    def put(
+        self,
+        key: str,
+        row: dict[str, typing.Any],
+        config: "ScenarioConfig | None" = None,
+    ) -> pathlib.Path:
+        """Store ``row`` under ``key`` atomically; returns the entry path."""
+        self.results_dir.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "format": KEY_FORMAT,
+            "key": key,
+            "config": jsonable(config.to_dict()) if config is not None else None,
+            "row": jsonable(row),
+        }
+        path = self._path(key)
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(canonical_json(entry))
+        os.replace(tmp, path)
+        return path
+
+    def __len__(self) -> int:
+        if not self.results_dir.is_dir():
+            return 0
+        return sum(1 for _ in self.results_dir.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns how many were removed."""
+        removed = 0
+        if self.results_dir.is_dir():
+            for path in self.results_dir.glob("*.json"):
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed

@@ -1,0 +1,377 @@
+"""The sweep executor: fan simulation points out over a process pool.
+
+:class:`SweepExecutor` owns how a grid of
+:class:`~repro.network.bss.ScenarioConfig` points gets executed:
+
+* ``workers=1`` runs every point serially in-process — fully
+  deterministic, no subprocess machinery, the mode tests default to;
+* ``workers>1`` dispatches points to a
+  :class:`concurrent.futures.ProcessPoolExecutor` in bounded chunks
+  (at most ``workers x chunk_size`` outstanding), with per-point
+  timeout and bounded retry — a wedged or crashed worker costs one
+  pool rebuild, not the grid;
+* an optional content-addressed :class:`~repro.exec.cache.ResultCache`
+  short-circuits points whose config hash already has a row on disk;
+* an optional :class:`~repro.exec.journal.SweepJournal` checkpoints
+  every completed row, so an interrupted sweep resumes where it died.
+
+Result rows come back in input order and are JSON-normalized
+(:func:`~repro.exec.hashing.normalize_row`), so a serial run, a
+parallel run, a cached replay and a resumed run of the same grid all
+return byte-identical rows.
+
+Per-point timeouts are only enforceable in pool mode (a serial run
+cannot preempt itself); serial mode still honours ``retries``.
+"""
+
+from __future__ import annotations
+
+import collections
+import concurrent.futures
+import dataclasses
+import multiprocessing
+import time
+import typing
+
+from ..network.bss import BssScenario, ScenarioConfig
+from .cache import DEFAULT_CACHE_DIR, ResultCache
+from .hashing import config_key, normalize_row
+from .journal import SweepJournal
+from .telemetry import PointRecord, RunTelemetry
+
+__all__ = [
+    "ExecutorConfig",
+    "SweepExecutor",
+    "SweepExecutionError",
+    "PointFailure",
+    "default_point_fn",
+]
+
+#: how often the pool loop polls for completions when a timeout is set
+_TIMEOUT_TICK = 0.05
+
+
+def default_point_fn(config: ScenarioConfig) -> dict[str, typing.Any]:
+    """Build and run one scenario — the executor's unit of work."""
+    return BssScenario(config).run()
+
+
+def _execute_point(
+    point_fn: typing.Callable[[ScenarioConfig], dict] | None,
+    config: ScenarioConfig,
+) -> tuple[dict[str, typing.Any], float]:
+    """Worker-side wrapper: run one point, timing it."""
+    start = time.perf_counter()
+    row = (point_fn or default_point_fn)(config)
+    return row, time.perf_counter() - start
+
+
+@dataclasses.dataclass(frozen=True)
+class PointFailure:
+    """One point that exhausted its attempts."""
+
+    index: int
+    config: ScenarioConfig
+    error: str
+
+
+class SweepExecutionError(RuntimeError):
+    """Raised when points fail after retries and ``on_failure='raise'``."""
+
+    def __init__(self, failures: typing.Sequence[PointFailure]) -> None:
+        self.failures = list(failures)
+        detail = "; ".join(
+            f"#{f.index} {f.config.scheme} load={f.config.load} "
+            f"seed={f.config.seed}: {f.error}"
+            for f in self.failures[:3]
+        )
+        more = "" if len(self.failures) <= 3 else f" (+{len(self.failures) - 3} more)"
+        super().__init__(
+            f"{len(self.failures)} sweep point(s) failed after retries: "
+            f"{detail}{more}"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class ExecutorConfig:
+    """Knobs for one :class:`SweepExecutor`."""
+
+    #: process-pool size; ``1`` means serial in-process execution
+    workers: int = 1
+    #: outstanding futures per worker (bounds dispatch memory)
+    chunk_size: int = 4
+    #: per-point wall-clock budget in seconds (pool mode only)
+    timeout: float | None = None
+    #: additional attempts after a failed/timed-out/crashed first try
+    retries: int = 1
+    #: cache directory, or ``None`` to disable the result cache
+    cache_dir: str | None = None
+    #: journal path, or ``None`` to disable checkpointing
+    journal: str | None = None
+    #: skip points already present in the journal
+    resume: bool = False
+    #: ``"raise"`` a :class:`SweepExecutionError` or ``"skip"`` failed points
+    on_failure: str = "raise"
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {self.chunk_size}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {self.timeout}")
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.on_failure not in ("raise", "skip"):
+            raise ValueError(
+                f"on_failure must be 'raise' or 'skip', got {self.on_failure!r}"
+            )
+
+
+class SweepExecutor:
+    """Executes a grid of scenario configs; see the module docstring."""
+
+    def __init__(
+        self,
+        config: ExecutorConfig | None = None,
+        point_fn: typing.Callable[[ScenarioConfig], dict] | None = None,
+        progress: typing.Callable[[PointRecord], None] | None = None,
+    ) -> None:
+        self.config = config or ExecutorConfig()
+        self.point_fn = point_fn
+        self.progress = progress
+        self.telemetry: RunTelemetry | None = None
+
+    # -- public API -------------------------------------------------------
+    def run(
+        self, configs: typing.Sequence[ScenarioConfig]
+    ) -> list[dict[str, typing.Any]]:
+        """Resolve every point; returns rows in input order."""
+        cfg = self.config
+        keys = [config_key(c) for c in configs]
+        rows: list[dict | None] = [None] * len(configs)
+        tel = RunTelemetry(workers=cfg.workers)
+        self.telemetry = tel
+
+        cache = ResultCache(cfg.cache_dir) if cfg.cache_dir else None
+        journal = SweepJournal(cfg.journal) if cfg.journal else None
+        journaled: dict[str, dict] = {}
+        if journal is not None:
+            if cfg.resume:
+                journaled = journal.load()
+            journal.start(resume=cfg.resume)
+
+        pending: list[int] = []
+        for i, key in enumerate(keys):
+            if key in journaled:
+                rows[i] = normalize_row(journaled[key])
+                self._emit(tel, i, configs[i], "resumed")
+                continue
+            if cache is not None:
+                row = cache.get(key)
+                if row is not None:
+                    tel.cache_hits += 1
+                    rows[i] = normalize_row(row)
+                    if journal is not None:
+                        journal.append(key, rows[i])
+                    self._emit(tel, i, configs[i], "cached")
+                    continue
+                tel.cache_misses += 1
+            pending.append(i)
+
+        failures: list[PointFailure] = []
+        if pending:
+            runner = self._run_serial if cfg.workers == 1 else self._run_pool
+            runner(configs, keys, rows, pending, cache, journal, tel, failures)
+
+        tel.finish()
+        if failures and cfg.on_failure == "raise":
+            raise SweepExecutionError(failures)
+        return [r for r in rows if r is not None]
+
+    def summary(self) -> dict[str, typing.Any]:
+        """Telemetry summary of the most recent :meth:`run`."""
+        if self.telemetry is None:
+            raise RuntimeError("no sweep has been run yet")
+        return self.telemetry.summary()
+
+    # -- shared plumbing --------------------------------------------------
+    def _emit(
+        self,
+        tel: RunTelemetry,
+        index: int,
+        config: ScenarioConfig,
+        status: str,
+        wall_time: float = 0.0,
+        attempts: int = 0,
+        sim_events: int = 0,
+        error: str | None = None,
+    ) -> None:
+        record = PointRecord(
+            index=index,
+            scheme=config.scheme,
+            load=config.load,
+            seed=config.seed,
+            status=status,
+            wall_time=wall_time,
+            attempts=attempts,
+            sim_events=sim_events,
+            error=error,
+        )
+        tel.record(record)
+        if self.progress is not None:
+            self.progress(record)
+
+    def _complete(
+        self,
+        index: int,
+        row: dict,
+        wall: float,
+        attempts: int,
+        configs: typing.Sequence[ScenarioConfig],
+        keys: list[str],
+        rows: list,
+        cache: ResultCache | None,
+        journal: SweepJournal | None,
+        tel: RunTelemetry,
+    ) -> None:
+        row = normalize_row(row)
+        rows[index] = row
+        if cache is not None:
+            cache.put(keys[index], row, configs[index])
+        if journal is not None:
+            journal.append(keys[index], row)
+        self._emit(
+            tel,
+            index,
+            configs[index],
+            "executed",
+            wall_time=wall,
+            attempts=attempts,
+            sim_events=int(row.get("events_processed") or 0),
+        )
+
+    # -- serial mode ------------------------------------------------------
+    def _run_serial(
+        self, configs, keys, rows, pending, cache, journal, tel, failures
+    ) -> None:
+        cfg = self.config
+        for i in pending:
+            attempts = 0
+            while True:
+                attempts += 1
+                try:
+                    row, wall = _execute_point(self.point_fn, configs[i])
+                except Exception as exc:  # noqa: BLE001 — retried, then surfaced
+                    if attempts <= cfg.retries:
+                        tel.retries += 1
+                        continue
+                    failures.append(PointFailure(i, configs[i], repr(exc)))
+                    self._emit(
+                        tel, i, configs[i], "failed",
+                        attempts=attempts, error=repr(exc),
+                    )
+                    break
+                self._complete(
+                    i, row, wall, attempts,
+                    configs, keys, rows, cache, journal, tel,
+                )
+                break
+
+    # -- pool mode --------------------------------------------------------
+    def _make_pool(self) -> concurrent.futures.ProcessPoolExecutor:
+        # fork keeps test-injected point functions picklable and is the
+        # cheapest start method; fall back to the platform default
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
+        return concurrent.futures.ProcessPoolExecutor(
+            max_workers=self.config.workers, mp_context=ctx
+        )
+
+    def _run_pool(
+        self, configs, keys, rows, pending, cache, journal, tel, failures
+    ) -> None:
+        cfg = self.config
+        max_outstanding = cfg.workers * cfg.chunk_size
+        # (index, attempts_used) — a point re-enters the queue on retry
+        queue: collections.deque[tuple[int, int]] = collections.deque(
+            (i, 0) for i in pending
+        )
+        # future -> [index, attempts_used, started_at | None]
+        inflight: dict[concurrent.futures.Future, list] = {}
+        pool = self._make_pool()
+
+        def fail_or_requeue(index: int, attempts: int, error: str) -> None:
+            if attempts <= cfg.retries:
+                tel.retries += 1
+                queue.append((index, attempts))
+            else:
+                failures.append(PointFailure(index, configs[index], error))
+                self._emit(
+                    tel, index, configs[index], "failed",
+                    attempts=attempts, error=error,
+                )
+
+        try:
+            while queue or inflight:
+                while queue and len(inflight) < max_outstanding:
+                    index, attempts = queue.popleft()
+                    future = pool.submit(_execute_point, self.point_fn, configs[index])
+                    inflight[future] = [index, attempts, None]
+
+                tick = _TIMEOUT_TICK if cfg.timeout is not None else None
+                done, _ = concurrent.futures.wait(
+                    tuple(inflight),
+                    timeout=tick,
+                    return_when=concurrent.futures.FIRST_COMPLETED,
+                )
+
+                broken = False
+                for future in done:
+                    index, attempts, _started = inflight.pop(future)
+                    attempts += 1
+                    try:
+                        row, wall = future.result()
+                    except concurrent.futures.BrokenExecutor as exc:
+                        broken = True
+                        fail_or_requeue(index, attempts, repr(exc))
+                    except Exception as exc:  # noqa: BLE001 — worker raised
+                        fail_or_requeue(index, attempts, repr(exc))
+                    else:
+                        self._complete(
+                            index, row, wall, attempts,
+                            configs, keys, rows, cache, journal, tel,
+                        )
+
+                if cfg.timeout is not None and not broken:
+                    now = time.monotonic()
+                    for future, state in inflight.items():
+                        if state[2] is None and future.running():
+                            state[2] = now
+                    expired = [
+                        future
+                        for future, state in inflight.items()
+                        if state[2] is not None and now - state[2] > cfg.timeout
+                    ]
+                    for future in expired:
+                        index, attempts, _started = inflight.pop(future)
+                        tel.timeouts += 1
+                        broken = True  # the wedged worker holds a pool slot
+                        fail_or_requeue(
+                            index,
+                            attempts + 1,
+                            f"timed out after {cfg.timeout}s",
+                        )
+
+                if broken:
+                    # a crashed or wedged worker poisons the pool: requeue
+                    # everything in flight (attempts unchanged — their try
+                    # never finished) and start a fresh pool
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    for index, attempts, _started in inflight.values():
+                        queue.append((index, attempts))
+                    inflight.clear()
+                    tel.pool_rebuilds += 1
+                    pool = self._make_pool()
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)

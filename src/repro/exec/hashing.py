@@ -1,0 +1,60 @@
+"""Canonical serialization and content-addressed point keys.
+
+The execution subsystem identifies a simulation point by a stable hash
+of its :class:`~repro.network.bss.ScenarioConfig`: the config is taken
+through :meth:`to_dict`, coerced to plain JSON types, dumped with
+sorted keys and hashed.  Two configs produce the same key iff they
+describe the same simulated point, so the key doubles as the result
+cache's address and the checkpoint journal's resume key.
+
+``KEY_FORMAT`` is folded into the hash; bump it whenever the meaning
+of a config field (or of a result row) changes so stale cache entries
+and journals are invalidated wholesale instead of silently reused.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from ..network.bss import ScenarioConfig
+
+__all__ = ["KEY_FORMAT", "jsonable", "canonical_json", "normalize_row", "config_key"]
+
+#: bump to invalidate every existing cache entry and journal row
+KEY_FORMAT = 1
+
+
+def jsonable(value: typing.Any) -> typing.Any:
+    """Coerce numpy scalars and tuples into plain JSON types."""
+    if isinstance(value, dict):
+        return {k: jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable(v) for v in value]
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    return value
+
+
+def canonical_json(value: typing.Any) -> str:
+    """Deterministic JSON encoding: coerced types, sorted keys, no spaces."""
+    return json.dumps(jsonable(value), sort_keys=True, separators=(",", ":"))
+
+
+def normalize_row(row: dict[str, typing.Any]) -> dict[str, typing.Any]:
+    """Round-trip a result row through JSON.
+
+    Every row the executor returns passes through here, so rows are
+    byte-identical regardless of provenance — freshly simulated, read
+    back from the cache, or replayed from a resume journal (JSON turns
+    tuples into lists; normalizing up front makes that uniform).
+    """
+    return json.loads(canonical_json(row))
+
+
+def config_key(config: "ScenarioConfig") -> str:
+    """Content-addressed identity of one simulation point."""
+    payload = {"format": KEY_FORMAT, "config": config.to_dict()}
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()

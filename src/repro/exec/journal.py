@@ -1,0 +1,79 @@
+"""Checkpoint/resume journal: completed sweep rows as JSON-lines.
+
+A sweep appends one ``{"key": <config hash>, "row": {...}}`` line per
+completed point (after a manifest header line).  Killing the sweep at
+any instant loses at most the in-flight points: a re-run with
+``resume=True`` loads the journal, skips every journaled key and only
+simulates the remainder.  A truncated final line — the signature of a
+mid-write kill — is detected and ignored on load.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import typing
+
+from .hashing import KEY_FORMAT, canonical_json
+
+__all__ = ["SweepJournal"]
+
+
+class SweepJournal:
+    """Append-only JSON-lines record of completed sweep points."""
+
+    def __init__(self, path: str | pathlib.Path) -> None:
+        self.path = pathlib.Path(path)
+
+    def exists(self) -> bool:
+        return self.path.is_file()
+
+    def load(self) -> dict[str, dict[str, typing.Any]]:
+        """Read back ``{key: row}`` for every intact journaled point.
+
+        Tolerates a missing file, a foreign/old manifest (returns
+        nothing, so every point re-runs) and corrupt or truncated
+        lines (skipped).
+        """
+        if not self.exists():
+            return {}
+        done: dict[str, dict[str, typing.Any]] = {}
+        with self.path.open() as fh:
+            first = fh.readline()
+            if not first:
+                return done
+            try:
+                header = json.loads(first)
+            except ValueError:
+                return done
+            if not header.get("_manifest") or header.get("format") != KEY_FORMAT:
+                return done
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except ValueError:
+                    continue  # truncated tail from a killed run
+                key, row = entry.get("key"), entry.get("row")
+                if isinstance(key, str) and isinstance(row, dict):
+                    done[key] = row
+        return done
+
+    def start(self, resume: bool = False) -> None:
+        """Begin a run: keep the journal when resuming, else rewrite it."""
+        if resume and self.exists():
+            return
+        from .. import __version__
+
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        manifest = {"_manifest": True, "format": KEY_FORMAT, "repro": __version__}
+        self.path.write_text(json.dumps(manifest) + "\n")
+
+    def append(self, key: str, row: dict[str, typing.Any]) -> None:
+        """Record one completed point (flushed immediately)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a") as fh:
+            fh.write(canonical_json({"key": key, "row": row}) + "\n")
+            fh.flush()

@@ -1,0 +1,90 @@
+"""Run telemetry: per-point records and the end-of-sweep summary.
+
+Every point the executor resolves — simulated, served from cache,
+replayed from a resume journal, or failed — produces one
+:class:`PointRecord`, streamed to the progress callback as it happens
+and aggregated into the final summary dict (wall time, simulator
+events processed, cache hit/miss counts, retry/timeout counts, and
+worker utilization = busy worker-seconds / (workers x elapsed)).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+import typing
+
+__all__ = ["PointRecord", "RunTelemetry"]
+
+#: terminal states a point can reach
+STATUSES = ("executed", "cached", "resumed", "failed")
+
+
+@dataclasses.dataclass(frozen=True)
+class PointRecord:
+    """One resolved sweep point, as streamed to the progress callback."""
+
+    index: int
+    scheme: str
+    load: float
+    seed: int
+    status: str  # one of STATUSES
+    wall_time: float = 0.0
+    attempts: int = 0
+    sim_events: int = 0
+    error: str | None = None
+
+
+class RunTelemetry:
+    """Aggregates :class:`PointRecord` streams into a summary dict."""
+
+    def __init__(self, workers: int = 1) -> None:
+        self.workers = max(1, workers)
+        self.records: list[PointRecord] = []
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.retries = 0
+        self.timeouts = 0
+        self.pool_rebuilds = 0
+        self._started = time.perf_counter()
+        self._finished: float | None = None
+
+    def record(self, record: PointRecord) -> None:
+        self.records.append(record)
+
+    def finish(self) -> None:
+        self._finished = time.perf_counter()
+
+    @property
+    def elapsed(self) -> float:
+        end = self._finished if self._finished is not None else time.perf_counter()
+        return end - self._started
+
+    def _count(self, status: str) -> int:
+        return sum(1 for r in self.records if r.status == status)
+
+    def summary(self) -> dict[str, typing.Any]:
+        """The final run summary the CLI and benchmarks report."""
+        executed = [r for r in self.records if r.status == "executed"]
+        busy = sum(r.wall_time for r in executed)
+        elapsed = self.elapsed
+        return {
+            "total_points": len(self.records),
+            "executed": len(executed),
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "resumed": self._count("resumed"),
+            "failed": self._count("failed"),
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "pool_rebuilds": self.pool_rebuilds,
+            "workers": self.workers,
+            "wall_time": elapsed,
+            "point_wall_total": busy,
+            "point_wall_mean": busy / len(executed) if executed else 0.0,
+            "point_wall_max": max((r.wall_time for r in executed), default=0.0),
+            "sim_events": sum(r.sim_events for r in executed),
+            "worker_utilization": (
+                busy / (self.workers * elapsed) if elapsed > 0 else 0.0
+            ),
+        }

@@ -20,6 +20,7 @@ __all__ = [
     "TABLE2",
     "EVALUATION_LOADS",
     "EVALUATION_SEEDS",
+    "BENCH_LOADS",
     "sweep_config",
 ]
 
@@ -57,6 +58,10 @@ EVALUATION_LOADS: tuple[float, ...] = (0.25, 0.5, 1.0, 1.5, 2.0, 3.0)
 
 #: replication seeds (figures average across them)
 EVALUATION_SEEDS: tuple[int, ...] = (1, 2, 3)
+
+#: the scaled-down benchmark grid: every other evaluation load — the
+#: single source the bench drivers and smoke sweeps import from
+BENCH_LOADS: tuple[float, ...] = EVALUATION_LOADS[1::2]
 
 
 def sweep_config(

@@ -12,20 +12,21 @@ import json
 import pathlib
 import typing
 
-__all__ = ["save_results", "load_results", "merge_results"]
+from ..exec.hashing import jsonable, normalize_row
+
+__all__ = [
+    "save_results",
+    "load_results",
+    "merge_results",
+    "jsonable",
+    "normalize_row",
+]
 
 _FORMAT = 1
 
-
-def _jsonable(value: typing.Any) -> typing.Any:
-    """Coerce numpy scalars and tuples into plain JSON types."""
-    if isinstance(value, dict):
-        return {k: _jsonable(v) for k, v in value.items()}
-    if isinstance(value, (list, tuple)):
-        return [_jsonable(v) for v in value]
-    if hasattr(value, "item"):  # numpy scalar
-        return value.item()
-    return value
+# canonical JSON coercion now lives in repro.exec.hashing (the cache
+# and journal share it); kept under its old private name for callers
+_jsonable = jsonable
 
 
 def save_results(

@@ -1,19 +1,51 @@
-"""Sweep execution and tabular rendering for the evaluation figures."""
+"""Sweep execution and tabular rendering for the evaluation figures.
+
+Execution is delegated to :mod:`repro.exec`: :func:`run_sweep` builds
+the ``schemes x loads x seeds`` grid of configs and hands it to a
+:class:`~repro.exec.SweepExecutor`.  The defaults (``workers=1``, no
+cache, no journal) reproduce the historical serial in-process
+behaviour exactly; pass ``workers``/``cache_dir``/``journal``/
+``resume`` — or a pre-built executor — to go parallel, cached and
+resumable.
+"""
 
 from __future__ import annotations
 
 import typing
 
+from ..exec import ExecutorConfig, PointRecord, SweepExecutor, default_point_fn
 from ..metrics.stats import OnlineStats
-from ..network.bss import BssScenario, ScenarioConfig
+from ..network.bss import ScenarioConfig
 from .config import EVALUATION_LOADS, EVALUATION_SEEDS, sweep_config
 
-__all__ = ["run_point", "run_sweep", "average_over_seeds", "format_table"]
+__all__ = [
+    "run_point",
+    "run_sweep",
+    "sweep_grid",
+    "average_over_seeds",
+    "format_table",
+]
 
 
 def run_point(config: ScenarioConfig) -> dict[str, typing.Any]:
     """Build and run one scenario, returning its results dict."""
-    return BssScenario(config).run()
+    return default_point_fn(config)
+
+
+def sweep_grid(
+    schemes: typing.Sequence[str],
+    loads: typing.Sequence[float] = EVALUATION_LOADS,
+    seeds: typing.Sequence[int] = EVALUATION_SEEDS,
+    sim_time: float = 60.0,
+    warmup: float = 5.0,
+) -> list[ScenarioConfig]:
+    """The full evaluation grid as configs: schemes x loads x seeds."""
+    return [
+        sweep_config(scheme, load, seed, sim_time, warmup)
+        for scheme in schemes
+        for load in loads
+        for seed in seeds
+    ]
 
 
 def run_sweep(
@@ -23,18 +55,43 @@ def run_sweep(
     sim_time: float = 60.0,
     warmup: float = 5.0,
     progress: typing.Callable[[str], None] | None = None,
+    *,
+    workers: int = 1,
+    cache_dir: str | None = None,
+    journal: str | None = None,
+    resume: bool = False,
+    timeout: float | None = None,
+    retries: int = 1,
+    executor: SweepExecutor | None = None,
 ) -> list[dict[str, typing.Any]]:
-    """The full evaluation grid: schemes x loads x seeds."""
-    rows = []
-    for scheme in schemes:
-        for load in loads:
-            for seed in seeds:
-                cfg = sweep_config(scheme, load, seed, sim_time, warmup)
-                row = run_point(cfg)
-                rows.append(row)
-                if progress is not None:
-                    progress(f"{scheme} load={load} seed={seed} done")
-    return rows
+    """Run the evaluation grid through the execution subsystem.
+
+    ``progress`` keeps its historical one-message-per-point string
+    signature; pass an ``executor`` with its own
+    :class:`~repro.exec.PointRecord` callback for structured progress
+    and post-run telemetry (``executor.summary()``).
+    """
+    if executor is None:
+        executor = SweepExecutor(
+            ExecutorConfig(
+                workers=workers,
+                cache_dir=cache_dir,
+                journal=journal,
+                resume=resume,
+                timeout=timeout,
+                retries=retries,
+            )
+        )
+    if progress is not None and executor.progress is None:
+
+        def _relay(record: PointRecord) -> None:
+            progress(
+                f"{record.scheme} load={record.load} seed={record.seed} "
+                f"{record.status}"
+            )
+
+        executor.progress = _relay
+    return executor.run(sweep_grid(schemes, loads, seeds, sim_time, warmup))
 
 
 def average_over_seeds(

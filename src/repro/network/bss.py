@@ -104,6 +104,29 @@ class ScenarioConfig:
         if self.load <= 0:
             raise ValueError(f"load must be > 0, got {self.load}")
 
+    def to_dict(self) -> dict[str, typing.Any]:
+        """JSON-ready representation (nested params become dicts).
+
+        The output is stable under ``json.dumps``/``json.loads`` and is
+        the canonical input to the execution subsystem's content hash
+        (:func:`repro.exec.hashing.config_key`) and sweep journals.
+        """
+        d = dataclasses.asdict(self)
+        d["alphas"] = list(self.alphas)
+        return d
+
+    @classmethod
+    def from_dict(cls, data: typing.Mapping[str, typing.Any]) -> "ScenarioConfig":
+        """Rebuild a config from :meth:`to_dict` output (JSON round-trip safe)."""
+        d = dict(data)
+        if isinstance(d.get("voice"), typing.Mapping):
+            d["voice"] = VoiceParams(**d["voice"])
+        if isinstance(d.get("video"), typing.Mapping):
+            d["video"] = VideoParams(**d["video"])
+        if "alphas" in d:
+            d["alphas"] = tuple(d["alphas"])
+        return cls(**d)
+
     def offered_load_bps(self) -> float:
         """Approximate offered traffic in bits/s (for plots' x-axis)."""
         voice_call_bps = self.voice.average_rate * self.voice.packet_bits
@@ -315,6 +338,9 @@ class BssScenario:
                 "load": cfg.load,
                 "normalized_load": cfg.normalized_load(self.timing),
                 "seed": cfg.seed,
+                "sim_time": cfg.sim_time,
+                "warmup": cfg.warmup,
+                "events_processed": self.sim.events_processed,
                 "call_attempts_new": gen.attempts["new"],
                 "call_attempts_handoff": gen.attempts["handoff"],
                 "calls_admitted_new": gen.admitted["new"],

@@ -74,6 +74,8 @@ class Simulator:
         self._heap: list[tuple[float, int, int, typing.Any]] = []
         self._seq = 0
         self._running = False
+        #: agenda entries processed so far (telemetry for sweep runs)
+        self.events_processed = 0
 
     # -- clock -----------------------------------------------------------
     @property
@@ -147,6 +149,7 @@ class Simulator:
         """
         time, _prio, _seq, item = heapq.heappop(self._heap)
         self._now = time
+        self.events_processed += 1
         if isinstance(item, TimerHandle):
             item._fire()
         else:

@@ -1,0 +1,57 @@
+"""Result cache: hit vs miss, corruption tolerance, clearing."""
+
+from repro.exec import ResultCache, config_key
+from repro.network.bss import ScenarioConfig
+
+
+def test_miss_then_hit(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    cfg = ScenarioConfig()
+    key = config_key(cfg)
+
+    assert cache.get(key) is None
+    assert (cache.hits, cache.misses) == (0, 1)
+
+    cache.put(key, {"scheme": "proposed", "x": 1.5}, cfg)
+    assert cache.get(key) == {"scheme": "proposed", "x": 1.5}
+    assert (cache.hits, cache.misses) == (1, 1)
+    assert len(cache) == 1
+
+
+def test_entries_are_self_describing(tmp_path):
+    import json
+
+    cache = ResultCache(tmp_path / "cache")
+    cfg = ScenarioConfig(load=2.0)
+    key = config_key(cfg)
+    path = cache.put(key, {"x": 1}, cfg)
+    entry = json.loads(path.read_text())
+    assert entry["key"] == key
+    assert entry["config"]["load"] == 2.0
+
+
+def test_corrupt_entry_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    key = config_key(ScenarioConfig())
+    path = cache.put(key, {"x": 1})
+    path.write_text("{not json")
+    assert cache.get(key) is None
+
+
+def test_clear_removes_everything(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    for seed in (1, 2, 3):
+        cfg = ScenarioConfig(seed=seed)
+        cache.put(config_key(cfg), {"seed": seed}, cfg)
+    assert len(cache) == 3
+    assert cache.clear() == 3
+    assert len(cache) == 0
+
+
+def test_distinct_configs_do_not_collide(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    a, b = ScenarioConfig(seed=1), ScenarioConfig(seed=2)
+    cache.put(config_key(a), {"seed": 1}, a)
+    cache.put(config_key(b), {"seed": 2}, b)
+    assert cache.get(config_key(a)) == {"seed": 1}
+    assert cache.get(config_key(b)) == {"seed": 2}

@@ -1,0 +1,49 @@
+"""Checkpoint journal: load, truncation tolerance, resume semantics."""
+
+from repro.exec import SweepJournal
+
+
+def test_missing_journal_loads_empty(tmp_path):
+    journal = SweepJournal(tmp_path / "none.jsonl")
+    assert journal.load() == {}
+    assert not journal.exists()
+
+
+def test_append_and_load(tmp_path):
+    journal = SweepJournal(tmp_path / "j.jsonl")
+    journal.start()
+    journal.append("k1", {"seed": 1})
+    journal.append("k2", {"seed": 2})
+    assert journal.load() == {"k1": {"seed": 1}, "k2": {"seed": 2}}
+
+
+def test_truncated_tail_line_is_skipped(tmp_path):
+    """A kill mid-append leaves a partial line; load must survive it."""
+    journal = SweepJournal(tmp_path / "j.jsonl")
+    journal.start()
+    journal.append("k1", {"seed": 1})
+    with journal.path.open("a") as fh:
+        fh.write('{"key": "k2", "row": {"se')  # no newline: killed mid-write
+    assert journal.load() == {"k1": {"seed": 1}}
+
+
+def test_start_without_resume_rewrites(tmp_path):
+    journal = SweepJournal(tmp_path / "j.jsonl")
+    journal.start()
+    journal.append("k1", {"seed": 1})
+    journal.start(resume=False)
+    assert journal.load() == {}
+
+
+def test_start_with_resume_preserves(tmp_path):
+    journal = SweepJournal(tmp_path / "j.jsonl")
+    journal.start()
+    journal.append("k1", {"seed": 1})
+    journal.start(resume=True)
+    assert journal.load() == {"k1": {"seed": 1}}
+
+
+def test_foreign_manifest_ignored(tmp_path):
+    path = tmp_path / "j.jsonl"
+    path.write_text('{"something": "else"}\n{"key": "k1", "row": {}}\n')
+    assert SweepJournal(path).load() == {}

@@ -41,6 +41,53 @@ def test_sweep_command_prints_all_figures(capsys):
     assert "dropping_probability" in out
 
 
+def test_sweep_parallel_workers_and_cache(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    args = ["sweep", "--loads", "0.5", "--seeds", "1", "--time", "8",
+            "--schemes", "proposed", "conventional", "--workers", "2"]
+    assert main(args) == 0
+    err = capsys.readouterr().err
+    assert "workers=2" in err
+    assert (tmp_path / ".repro-cache" / "results").is_dir()
+
+    # re-running the same grid is served entirely from the cache
+    assert main(args) == 0
+    err = capsys.readouterr().err
+    assert "2 cached" in err
+    assert "0 simulated" in err
+
+
+def test_sweep_no_cache_writes_no_entries(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    assert main(["sweep", "--loads", "0.5", "--seeds", "1", "--time", "8",
+                 "--schemes", "proposed", "--no-cache"]) == 0
+    assert not (tmp_path / ".repro-cache" / "results").exists()
+
+
+def test_sweep_resume_skips_journaled_points(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    base = ["sweep", "--loads", "0.5", "--seeds", "1", "--time", "8",
+            "--schemes", "proposed", "--no-cache"]
+    assert main(base) == 0
+    capsys.readouterr()
+    assert main(base + ["--resume"]) == 0
+    err = capsys.readouterr().err
+    assert "1 resumed" in err
+    assert "0 simulated" in err
+
+
+def test_sweep_out_archives_rows(tmp_path, monkeypatch):
+    from repro.experiments import load_results
+
+    monkeypatch.chdir(tmp_path)
+    out = tmp_path / "rows.jsonl"
+    assert main(["sweep", "--loads", "0.5", "--seeds", "1", "--time", "8",
+                 "--schemes", "proposed", "--no-cache", "--out", str(out)]) == 0
+    rows = load_results(out)
+    assert len(rows) == 1
+    assert rows[0]["scheme"] == "proposed"
+
+
 def test_invalid_scheme_rejected():
     with pytest.raises(SystemExit):
         main(["quick", "--scheme", "bogus"])
