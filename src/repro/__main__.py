@@ -6,6 +6,10 @@ tables            print Tables I and II
 quick             run one scenario and print its summary
 fig5              regenerate Fig. 5 (bounds vs simulation)
 sweep             run the Figs. 6-11 sweep and print every series
+validate          run a validation tier; exit nonzero on failed claims
+
+Exit codes: 0 success; 1 failed validation claims; 2 sweep points
+permanently failed after retries.
 """
 
 from __future__ import annotations
@@ -70,8 +74,41 @@ def _cmd_fig5(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_sweep(args: argparse.Namespace) -> int:
+def _sweep_executor(args: argparse.Namespace):
     from .exec import ExecutorConfig, SweepExecutor
+
+    return SweepExecutor(
+        ExecutorConfig(
+            workers=args.workers,
+            cache_dir=None if args.no_cache else args.cache_dir,
+            journal=args.journal,
+            resume=args.resume,
+            timeout=args.timeout,
+        ),
+        progress=lambda rec: print(
+            f"  {rec.scheme} load={rec.load} seed={rec.seed} {rec.status}"
+            + (f" [{rec.wall_time:.2f}s]" if rec.status == "executed" else ""),
+            file=sys.stderr,
+        ),
+    )
+
+
+def _print_failures(exc) -> None:
+    print(
+        f"error: {len(exc.failures)} sweep point(s) permanently failed "
+        "after retries:",
+        file=sys.stderr,
+    )
+    for f in exc.failures:
+        print(
+            f"  #{f.index} {f.config.scheme} load={f.config.load} "
+            f"seed={f.config.seed}: {f.error}",
+            file=sys.stderr,
+        )
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .exec import SweepExecutionError
     from .experiments import (
         BENCH_LOADS,
         FIGURE_METRICS,
@@ -86,28 +123,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         save_results,
     )
 
-    executor = SweepExecutor(
-        ExecutorConfig(
-            workers=args.workers,
-            cache_dir=None if args.no_cache else args.cache_dir,
-            journal=args.journal,
-            resume=args.resume,
-            timeout=args.timeout,
-        ),
-        progress=lambda rec: print(
-            f"  {rec.scheme} load={rec.load} seed={rec.seed} {rec.status}"
-            + (f" [{rec.wall_time:.2f}s]" if rec.status == "executed" else ""),
-            file=sys.stderr,
-        ),
-    )
-    rows = run_sweep(
-        tuple(args.schemes),
-        loads=tuple(args.loads) if args.loads else BENCH_LOADS,
-        seeds=tuple(range(1, args.seeds + 1)),
-        sim_time=args.time,
-        warmup=min(8.0, args.time / 8),
-        executor=executor,
-    )
+    executor = _sweep_executor(args)
+    try:
+        rows = run_sweep(
+            tuple(args.schemes),
+            loads=tuple(args.loads) if args.loads else BENCH_LOADS,
+            seeds=tuple(range(1, args.seeds + 1)),
+            sim_time=args.time,
+            warmup=min(8.0, args.time / 8),
+            executor=executor,
+        )
+    except SweepExecutionError as exc:
+        _print_failures(exc)
+        return 2
     summary = executor.summary()
     print(
         "  sweep: {total_points} points, {executed} simulated, "
@@ -128,6 +156,30 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print()
         print(format_table(table, cols, title=name))
     return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from .exec import SweepExecutionError
+    from .validate import run_validation
+
+    executor = _sweep_executor(args)
+    try:
+        report = run_validation(args.tier, executor=executor)
+    except SweepExecutionError as exc:
+        _print_failures(exc)
+        return 2
+    summary = executor.summary()
+    print(
+        "  grid: {total_points} points, {executed} simulated, "
+        "{cache_hits} cached, {resumed} resumed in {wall_time:.1f}s "
+        "(workers={workers})".format(**summary),
+        file=sys.stderr,
+    )
+    out = args.out or f".repro-cache/validate-{report.tier}-report.json"
+    path = report.save(out)
+    print(f"  verdict report written to {path}", file=sys.stderr)
+    print(report.render())
+    return 0 if report.passed else 1
 
 
 def _positive_int(text: str) -> int:
@@ -181,12 +233,36 @@ def main(argv: list[str] | None = None) -> int:
     sweep.add_argument("--out", default=None,
                        help="also archive result rows to this JSON-lines file")
 
+    validate = sub.add_parser(
+        "validate",
+        help="run a validation tier (shape claims + invariant monitors)",
+    )
+    validate.add_argument("--tier", default="smoke", choices=["smoke", "full"],
+                          help="which tier to run (default: smoke)")
+    validate.add_argument("--workers", type=_positive_int, default=1,
+                          help="process-pool size (1 = serial in-process)")
+    validate.add_argument("--resume", action="store_true",
+                          help="skip points already in the checkpoint journal")
+    validate.add_argument("--no-cache", action="store_true",
+                          help="disable the content-addressed result cache")
+    validate.add_argument("--cache-dir", default=".repro-cache",
+                          help="result cache directory (default: .repro-cache)")
+    validate.add_argument("--journal",
+                          default=".repro-cache/validate-journal.jsonl",
+                          help="checkpoint journal path (JSON-lines)")
+    validate.add_argument("--timeout", type=float, default=None,
+                          help="per-point wall-clock budget in s (pool mode)")
+    validate.add_argument("--out", default=None,
+                          help="verdict report path (default: "
+                               ".repro-cache/validate-<tier>-report.json)")
+
     args = parser.parse_args(argv)
     handlers = {
         "tables": _cmd_tables,
         "quick": _cmd_quick,
         "fig5": _cmd_fig5,
         "sweep": _cmd_sweep,
+        "validate": _cmd_validate,
     }
     return handlers[args.command](args)
 

@@ -129,6 +129,8 @@ class QosAccessPoint(ChannelListener):
             txop_packets=self.config.txop_packets,
         )
         self.stations: dict[str, RealTimeStation] = {}
+        #: optional :class:`repro.validate.invariants.InvariantSuite`
+        self.monitor = None
 
         self._earliest_next_cfp = 0.0
         self._cfp_started_at = 0.0
@@ -205,6 +207,8 @@ class QosAccessPoint(ChannelListener):
         else:
             self.admitted_new += 1
         self.policy.add_session(session)
+        if self.monitor is not None:
+            self.monitor.session_admitted(session)
         if station is not None:
             station.grant()
 
@@ -236,6 +240,8 @@ class QosAccessPoint(ChannelListener):
             (self.bandwidth.share_i + self.bandwidth.share_ii)
             * self.config.superframe
         )
+        if self.monitor is not None:
+            self.monitor.cfp_started(now, max_dur)
         self.coordinator.start_cfp(self, max_dur, self._cfp_ended)
 
     def _cfp_ended(self) -> None:
@@ -252,6 +258,8 @@ class QosAccessPoint(ChannelListener):
             self.config.cp_debt_cap,
         )
         self._earliest_next_cfp = now + debt
+        if self.monitor is not None:
+            self.monitor.cfp_ended(now, duration, debt)
         if self.policy.any_token():
             self._schedule_check(self._earliest_next_cfp)
         else:

@@ -113,6 +113,8 @@ class TokenPolicy:
         self._by_station: dict[str, TokenState] = {}
         #: fired whenever a token appears (AP hooks CFP scheduling here)
         self.on_token: typing.Callable[[], None] | None = None
+        #: optional :class:`repro.validate.invariants.InvariantSuite`
+        self.monitor = None
 
     # -- membership ---------------------------------------------------------
     def add_session(self, session: Session) -> TokenState:
@@ -172,11 +174,15 @@ class TokenPolicy:
             state.regen_handle = None
 
     def _schedule_regen(self, state: TokenState, delay: float) -> None:
+        if self.monitor is not None:
+            self.monitor.token_regen_scheduled(state, delay, self.sim.now)
         self._cancel_regen(state)
         state.regen_handle = self.sim.call_in(delay, self._regen_fire, state)
 
     def _regen_fire(self, state: TokenState) -> None:
         state.regen_handle = None
+        if self.monitor is not None:
+            self.monitor.token_granted(state, self.sim.now)
         if not state.has_token:
             state.has_token = True
             state.tokens_generated += 1

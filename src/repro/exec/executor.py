@@ -141,6 +141,9 @@ class SweepExecutor:
         self.point_fn = point_fn
         self.progress = progress
         self.telemetry: RunTelemetry | None = None
+        #: points the most recent :meth:`run` gave up on — the only
+        #: failure record in ``on_failure="skip"`` mode
+        self.failures: list[PointFailure] = []
 
     # -- public API -------------------------------------------------------
     def run(
@@ -180,6 +183,7 @@ class SweepExecutor:
             pending.append(i)
 
         failures: list[PointFailure] = []
+        self.failures = failures
         if pending:
             runner = self._run_serial if cfg.workers == 1 else self._run_pool
             runner(configs, keys, rows, pending, cache, journal, tel, failures)

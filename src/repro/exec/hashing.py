@@ -24,7 +24,8 @@ if typing.TYPE_CHECKING:  # pragma: no cover
 __all__ = ["KEY_FORMAT", "jsonable", "canonical_json", "normalize_row", "config_key"]
 
 #: bump to invalidate every existing cache entry and journal row
-KEY_FORMAT = 1
+#: (2: ScenarioConfig grew monitor_invariants, changing to_dict())
+KEY_FORMAT = 2
 
 
 def jsonable(value: typing.Any) -> typing.Any:

@@ -45,6 +45,13 @@ class OnlineStats:
     def std(self) -> float:
         return math.sqrt(self.variance)
 
+    @property
+    def sem(self) -> float:
+        """Standard error of the mean (inf below two observations)."""
+        if self.count < 2:
+            return math.inf
+        return math.sqrt(self.variance / self.count)
+
     def merge(self, other: "OnlineStats") -> "OnlineStats":
         """Combine two accumulators (parallel Welford merge)."""
         if other.count == 0:

@@ -88,6 +88,9 @@ class ScenarioConfig:
     adaptive_cw: bool = True
     adaptive_bandwidth: bool = True
     voice_order: str = "ascending"
+    #: attach the runtime invariant monitors (repro.validate.invariants)
+    #: and report ``invariant_violations`` in the results dict
+    monitor_invariants: bool = False
     #: priority partition of the contention window (paper Table I)
     alphas: tuple[int, ...] = (4, 4, 8)
     beta: int = 0
@@ -167,11 +170,23 @@ class BssScenario:
         self.channel = Channel(
             self.sim, BitErrorModel(config.ber, self.streams.get("phy/errors"))
         )
-        self.nav = Nav()
+        self.invariants = None
+        if config.monitor_invariants:
+            # imported lazily: repro.validate rides the experiments
+            # layer, which sits above this module
+            from ..validate.invariants import InvariantSuite
+
+            self.invariants = InvariantSuite(self.sim)
+            self.invariants.attach_channel(self.channel)
+        self.nav = (
+            self.invariants.monitored_nav() if self.invariants else Nav()
+        )
         self.collector = MetricsCollector(warmup=config.warmup)
 
         self._shared_policy = self._build_policy()
         self.ap = self._build_ap()
+        if self.invariants is not None and hasattr(self.ap, "policy"):
+            self.invariants.attach_ap(self.ap)
         self.call_generator = CallGenerator(
             self.sim,
             self.ap,
@@ -358,4 +373,8 @@ class BssScenario:
         if hasattr(self.ap, "admission"):
             results["analytic_voice_bounds"] = self.ap.admission.voice_bounds()
             results["analytic_video_bounds"] = self.ap.admission.video_bounds()
+        if self.invariants is not None:
+            results["invariant_violations"] = self.invariants.finalize(
+                self.collector, cfg.sim_time
+            )
         return results

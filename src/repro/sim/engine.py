@@ -76,6 +76,9 @@ class Simulator:
         self._running = False
         #: agenda entries processed so far (telemetry for sweep runs)
         self.events_processed = 0
+        #: optional ``fn(time)`` called before each agenda entry fires
+        #: (the validation monitors' clock-monotonicity hook)
+        self.step_observer: typing.Callable[[float], None] | None = None
 
     # -- clock -----------------------------------------------------------
     @property
@@ -150,6 +153,8 @@ class Simulator:
         time, _prio, _seq, item = heapq.heappop(self._heap)
         self._now = time
         self.events_processed += 1
+        if self.step_observer is not None:
+            self.step_observer(time)
         if isinstance(item, TimerHandle):
             item._fire()
         else:

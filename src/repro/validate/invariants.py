@@ -1,0 +1,290 @@
+"""Opt-in runtime invariant monitors for a simulated BSS.
+
+``ScenarioConfig(monitor_invariants=True)`` makes :class:`BssScenario`
+build one :class:`InvariantSuite` and hook it into the DES kernel, the
+shared NAV, the token policy and the QoS AP.  Monitored runs check,
+while the simulation executes:
+
+* the event clock never moves backwards;
+* the NAV is never set to a time already in the past;
+* token regeneration obeys its rule — non-negative delay, never armed
+  while the token is still present, voice delays within the pacing
+  envelope (``2/r`` plus the guard), video delays exactly the
+  engineered ``x_j``;
+* CFPs never overlap, never start before the contention-period debt of
+  the previous one is paid, and never run past their announced maximum
+  (plus one in-flight exchange of slack);
+
+and, at :meth:`InvariantSuite.finalize`:
+
+* channel time accounting is sane (busy ≤ elapsed, CFP ≤ elapsed,
+  idle ≥ 0);
+* every admitted source's *measured* max jitter (voice, Theorem 1) or
+  max access delay (video, Theorem 3) sits under its QoS budget.
+
+Violations are collected, not raised: a monitored sweep finishes and
+reports ``invariant_violations`` in its result row, which the
+``invariants.clean`` claim in :mod:`repro.validate.shapes` then gates.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from ..mac.nav import Nav
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from ..core.admission import Session
+    from ..core.qos_ap import QosAccessPoint
+    from ..core.token_policy import TokenPolicy, TokenState
+    from ..metrics.collectors import MetricsCollector
+    from ..phy.channel import Channel
+    from ..sim.engine import Simulator
+
+__all__ = ["Violation", "MonitoredNav", "InvariantSuite"]
+
+_EPS = 1e-9
+
+#: a CFP may finish the exchange in flight when its budget expires, so
+#: the duration check allows one worst-case exchange of slack
+_CFP_OVERRUN_SLACK = 0.010
+
+
+@dataclasses.dataclass(frozen=True)
+class Violation:
+    """One observed invariant breach."""
+
+    time: float
+    monitor: str
+    message: str
+
+    def render(self) -> str:
+        return f"[{self.monitor} t={self.time:.6f}] {self.message}"
+
+
+class MonitoredNav(Nav):
+    """NAV that reports set-in-the-past calls to the suite.
+
+    A subclass (not a monkeypatch) because :class:`Nav` uses
+    ``__slots__``; behaviour is otherwise identical.
+    """
+
+    __slots__ = ("_suite",)
+
+    def __init__(self, suite: "InvariantSuite") -> None:
+        super().__init__()
+        self._suite = suite
+
+    def set(self, until: float) -> None:
+        now = self._suite.sim.now
+        if until < now - _EPS and until > self.until:
+            self._suite.record(
+                "nav", f"NAV set to {until:.6f}, already past now={now:.6f}"
+            )
+        super().set(until)
+
+
+class InvariantSuite:
+    """Collects runtime invariant violations for one scenario run.
+
+    Parameters
+    ----------
+    sim:
+        The scenario's simulator; the suite installs itself as its
+        ``step_observer``.
+    max_violations:
+        Recording cap — a badly broken run should not balloon its
+        result row; the total count is always exact.
+    """
+
+    def __init__(self, sim: "Simulator", max_violations: int = 100) -> None:
+        self.sim = sim
+        self.max_violations = max_violations
+        self.violations: list[Violation] = []
+        self.total_violations = 0
+        self._last_step_time = float("-inf")
+        self.channel: Channel | None = None
+        # CFP bookkeeping (independent of the AP's own)
+        self._cfp_open = False
+        self._cfp_started_at = 0.0
+        self._cfp_max_dur = 0.0
+        self._cfp_busy_at_start = 0.0
+        self._cfp_total = 0.0
+        self._earliest_next_cfp = 0.0
+        #: every session ever admitted, for the finalize-time QoS check
+        self.admitted: dict[str, "Session"] = {}
+        sim.step_observer = self._on_step
+
+    # -- recording -----------------------------------------------------------
+    def record(self, monitor: str, message: str) -> None:
+        self.total_violations += 1
+        if len(self.violations) < self.max_violations:
+            self.violations.append(Violation(self.sim.now, monitor, message))
+
+    @property
+    def clean(self) -> bool:
+        return self.total_violations == 0
+
+    def _effective_busy(self, now: float) -> float:
+        """Channel busy airtime including the interval still in flight
+        (``busy_time`` itself is only credited once the medium goes
+        idle, so a raw snapshot would misattribute straddling bursts)."""
+        assert self.channel is not None
+        busy = self.channel.busy_time
+        if self.channel._busy_started is not None:
+            busy += now - self.channel._busy_started
+        return busy
+
+    # -- wiring --------------------------------------------------------------
+    def monitored_nav(self) -> MonitoredNav:
+        return MonitoredNav(self)
+
+    def attach_channel(self, channel: "Channel") -> None:
+        self.channel = channel
+
+    def attach_token_policy(self, policy: "TokenPolicy") -> None:
+        policy.monitor = self
+
+    def attach_ap(self, ap: "QosAccessPoint") -> None:
+        ap.monitor = self
+        self.attach_token_policy(ap.policy)
+
+    # -- simulator hook ------------------------------------------------------
+    def _on_step(self, time: float) -> None:
+        if time < self._last_step_time:
+            self.record(
+                "clock",
+                f"event clock moved backwards: {time:.9f} after "
+                f"{self._last_step_time:.9f}",
+            )
+        self._last_step_time = time
+
+    # -- token policy hooks --------------------------------------------------
+    def token_regen_scheduled(
+        self, state: "TokenState", delay: float, now: float
+    ) -> None:
+        sid = state.station_id
+        if delay < 0.0:
+            self.record("token", f"{sid}: negative regeneration delay {delay:.6f}")
+        if state.has_token:
+            self.record(
+                "token", f"{sid}: regeneration armed while token still present"
+            )
+        session = state.session
+        if session.is_voice:
+            period = 1.0 / session.params.rate
+            limit = 2.0 * period + 0.002
+            if delay > limit + _EPS:
+                self.record(
+                    "token",
+                    f"{sid}: voice regen delay {delay:.6f} exceeds pacing "
+                    f"envelope {limit:.6f}",
+                )
+        elif abs(delay - session.token_latency) > _EPS:
+            self.record(
+                "token",
+                f"{sid}: video regen delay {delay:.6f} != engineered "
+                f"x_j {session.token_latency:.6f}",
+            )
+
+    def token_granted(self, state: "TokenState", now: float) -> None:
+        if state.has_token:
+            self.record(
+                "token",
+                f"{state.station_id}: token granted while already holding one",
+            )
+
+    # -- QoS AP hooks --------------------------------------------------------
+    def session_admitted(self, session: "Session") -> None:
+        self.admitted[session.station_id] = session
+
+    def cfp_started(self, now: float, max_dur: float) -> None:
+        if self._cfp_open:
+            self.record(
+                "cfp",
+                f"CFP started at {now:.6f} while the one from "
+                f"{self._cfp_started_at:.6f} is still open",
+            )
+        if now < self._earliest_next_cfp - _EPS:
+            self.record(
+                "cfp",
+                f"CFP started at {now:.6f} before the contention-period "
+                f"debt expires at {self._earliest_next_cfp:.6f}",
+            )
+        self._cfp_open = True
+        self._cfp_started_at = now
+        self._cfp_max_dur = max_dur
+        if self.channel is not None:
+            self._cfp_busy_at_start = self._effective_busy(now)
+
+    def cfp_ended(self, now: float, duration: float, debt: float) -> None:
+        if not self._cfp_open:
+            self.record("cfp", f"CFP ended at {now:.6f} without a matching start")
+            return
+        self._cfp_open = False
+        self._cfp_total += duration
+        self._earliest_next_cfp = now + debt
+        if duration < -_EPS:
+            self.record("cfp", f"negative CFP duration {duration:.6f}")
+        if duration > self._cfp_max_dur + _CFP_OVERRUN_SLACK:
+            self.record(
+                "cfp",
+                f"CFP ran {duration:.6f}, past its announced maximum "
+                f"{self._cfp_max_dur:.6f} (+{_CFP_OVERRUN_SLACK} slack)",
+            )
+        if self.channel is not None:
+            busy_in_cfp = self._effective_busy(now) - self._cfp_busy_at_start
+            if busy_in_cfp > duration + _EPS:
+                self.record(
+                    "cfp",
+                    f"channel busy {busy_in_cfp:.6f} inside a CFP of only "
+                    f"{duration:.6f}",
+                )
+
+    # -- end-of-run checks ---------------------------------------------------
+    def finalize(
+        self, collector: "MetricsCollector", sim_time: float
+    ) -> list[str]:
+        """Run the end-of-run checks; return all violations, rendered."""
+        if self.channel is not None:
+            busy = self.channel.busy_time
+            if busy > sim_time + _EPS:
+                self.record(
+                    "accounting",
+                    f"channel busy {busy:.6f} exceeds elapsed time "
+                    f"{sim_time:.6f}",
+                )
+            idle = sim_time - busy
+            if idle < -_EPS:
+                self.record("accounting", f"negative idle time {idle:.6f}")
+        if self._cfp_total > sim_time + _EPS:
+            self.record(
+                "accounting",
+                f"total CFP time {self._cfp_total:.6f} exceeds elapsed "
+                f"time {sim_time:.6f}",
+            )
+        for sid, session in sorted(self.admitted.items()):
+            budget = session.params.max_jitter if session.is_voice else None
+            if session.is_voice:
+                tracker = collector.jitter.get(sid)
+                if tracker is not None and tracker.max_jitter > budget + _EPS:
+                    self.record(
+                        "qos",
+                        f"{sid}: measured max jitter {tracker.max_jitter:.6f} "
+                        f"over the Theorem 1 budget {budget:.6f}",
+                    )
+            else:
+                budget = session.params.max_delay
+                delay = collector.max_delay.get(sid)
+                if delay is not None and delay > budget + _EPS:
+                    self.record(
+                        "qos",
+                        f"{sid}: measured max delay {delay:.6f} over the "
+                        f"Theorem 3 budget {budget:.6f}",
+                    )
+        return [v.render() for v in self.violations] + (
+            [f"... {self.total_violations - len(self.violations)} more"]
+            if self.total_violations > len(self.violations)
+            else []
+        )

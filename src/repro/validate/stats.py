@@ -1,0 +1,270 @@
+"""Interval statistics over seed replications.
+
+Ordering claims ("proposed < conventional at heavy load") must not be
+asserted on two noisy means: with common random numbers the per-seed
+*delta* is the low-variance estimator (both schemes see identical call
+arrivals, talk spurts and frame sizes at the same seed), so the gates
+in :mod:`repro.validate.shapes` test the paired deltas — consistent
+sign across every seed, or a Student-t confidence interval on the mean
+delta excluding zero.
+
+The Student-t machinery is self-contained (regularized incomplete
+beta via Lentz's continued fraction) because scipy is a dev-only
+dependency; the accumulators extend
+:class:`repro.metrics.stats.OnlineStats`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import typing
+
+from ..metrics.stats import OnlineStats
+
+__all__ = [
+    "student_t_cdf",
+    "t_critical",
+    "ConfidenceInterval",
+    "mean_ci",
+    "stats_ci",
+    "PairedComparison",
+    "paired_comparison",
+    "seed_values",
+]
+
+_MAX_ITER = 300
+_CF_EPS = 3e-12
+_FPMIN = 1e-300
+
+
+def _betacf(a: float, b: float, x: float) -> float:
+    """Lentz's continued fraction for the incomplete beta function."""
+    qab, qap, qam = a + b, a + 1.0, a - 1.0
+    c = 1.0
+    d = 1.0 - qab * x / qap
+    if abs(d) < _FPMIN:
+        d = _FPMIN
+    d = 1.0 / d
+    h = d
+    for m in range(1, _MAX_ITER + 1):
+        m2 = 2 * m
+        aa = m * (b - m) * x / ((qam + m2) * (a + m2))
+        d = 1.0 + aa * d
+        if abs(d) < _FPMIN:
+            d = _FPMIN
+        c = 1.0 + aa / c
+        if abs(c) < _FPMIN:
+            c = _FPMIN
+        d = 1.0 / d
+        h *= d * c
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2))
+        d = 1.0 + aa * d
+        if abs(d) < _FPMIN:
+            d = _FPMIN
+        c = 1.0 + aa / c
+        if abs(c) < _FPMIN:
+            c = _FPMIN
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < _CF_EPS:
+            break
+    return h
+
+
+def _reg_incomplete_beta(a: float, b: float, x: float) -> float:
+    """Regularized incomplete beta I_x(a, b)."""
+    if x <= 0.0:
+        return 0.0
+    if x >= 1.0:
+        return 1.0
+    ln_front = (
+        math.lgamma(a + b)
+        - math.lgamma(a)
+        - math.lgamma(b)
+        + a * math.log(x)
+        + b * math.log1p(-x)
+    )
+    front = math.exp(ln_front)
+    # use the representation that converges fast for this x
+    if x < (a + 1.0) / (a + b + 2.0):
+        return front * _betacf(a, b, x) / a
+    return 1.0 - front * _betacf(b, a, 1.0 - x) / b
+
+
+def student_t_cdf(t: float, df: float) -> float:
+    """CDF of Student's t distribution with ``df`` degrees of freedom."""
+    if df <= 0:
+        raise ValueError(f"df must be > 0, got {df}")
+    if t == 0.0:
+        return 0.5
+    x = df / (df + t * t)
+    tail = 0.5 * _reg_incomplete_beta(df / 2.0, 0.5, x)
+    return 1.0 - tail if t > 0 else tail
+
+
+def t_critical(df: float, confidence: float = 0.95) -> float:
+    """Two-sided Student-t critical value (e.g. df=10, 95 % → 2.228)."""
+    if df <= 0:
+        raise ValueError(f"df must be > 0, got {df}")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0,1), got {confidence}")
+    target = 0.5 + confidence / 2.0
+    lo, hi = 0.0, 2.0
+    while student_t_cdf(hi, df) < target:
+        hi *= 2.0
+        if hi > 1e9:  # pragma: no cover — df >= 1 converges far earlier
+            return hi
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if student_t_cdf(mid, df) < target:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo < 1e-10 * max(1.0, hi):
+            break
+    return 0.5 * (lo + hi)
+
+
+@dataclasses.dataclass(frozen=True)
+class ConfidenceInterval:
+    """Student-t confidence interval for a mean over ``n`` replications."""
+
+    mean: float
+    half_width: float
+    n: int
+    confidence: float
+
+    @property
+    def lo(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def hi(self) -> float:
+        return self.mean + self.half_width
+
+    def excludes_zero(self) -> bool:
+        """True when the whole interval sits on one side of zero."""
+        return self.lo > 0.0 or self.hi < 0.0
+
+    def as_dict(self) -> dict[str, typing.Any]:
+        return {
+            "mean": self.mean,
+            "half_width": self.half_width,
+            "lo": self.lo,
+            "hi": self.hi,
+            "n": self.n,
+            "confidence": self.confidence,
+        }
+
+
+def stats_ci(stats: OnlineStats, confidence: float = 0.95) -> ConfidenceInterval:
+    """CI for the mean of an accumulator (infinite width below n=2)."""
+    if stats.count < 2:
+        return ConfidenceInterval(stats.mean, math.inf, stats.count, confidence)
+    half = t_critical(stats.count - 1, confidence) * stats.sem
+    return ConfidenceInterval(stats.mean, half, stats.count, confidence)
+
+
+def mean_ci(
+    values: typing.Iterable[float], confidence: float = 0.95
+) -> ConfidenceInterval:
+    """CI for the mean of raw replication values."""
+    stats = OnlineStats()
+    for v in values:
+        stats.add(float(v))
+    return stats_ci(stats, confidence)
+
+
+def seed_values(
+    rows: typing.Sequence[typing.Mapping],
+    scheme: str,
+    load: float,
+    metric: str,
+) -> dict[int, float]:
+    """``{seed: metric}`` for one (scheme, load) cell of a sweep."""
+    out: dict[int, float] = {}
+    for row in rows:
+        if row.get("scheme") != scheme or row.get("load") != load:
+            continue
+        value = row.get(metric)
+        if isinstance(value, (int, float)):
+            out[int(row["seed"])] = float(value)
+    return out
+
+
+@dataclasses.dataclass(frozen=True)
+class PairedComparison:
+    """Per-seed deltas ``metric(a) - metric(b)`` at one load point."""
+
+    metric: str
+    scheme_a: str
+    scheme_b: str
+    load: float
+    seeds: tuple[int, ...]
+    deltas: tuple[float, ...]
+    ci: ConfidenceInterval
+
+    @property
+    def n(self) -> int:
+        return len(self.deltas)
+
+    def consistently_negative(self) -> bool:
+        """Every paired seed puts scheme_a strictly below scheme_b."""
+        return self.n > 0 and all(d < 0.0 for d in self.deltas)
+
+    def consistently_positive(self) -> bool:
+        return self.n > 0 and all(d > 0.0 for d in self.deltas)
+
+    def significantly_negative(self) -> bool:
+        return self.ci.hi < 0.0
+
+    def significantly_positive(self) -> bool:
+        return self.ci.lo > 0.0
+
+    def supports_less(self) -> bool:
+        """a < b, by unanimous per-seed sign or by the CI excluding 0."""
+        return self.consistently_negative() or self.significantly_negative()
+
+    def supports_greater(self) -> bool:
+        return self.consistently_positive() or self.significantly_positive()
+
+    def as_dict(self) -> dict[str, typing.Any]:
+        return {
+            "metric": self.metric,
+            "scheme_a": self.scheme_a,
+            "scheme_b": self.scheme_b,
+            "load": self.load,
+            "seeds": list(self.seeds),
+            "deltas": list(self.deltas),
+            "ci": self.ci.as_dict(),
+        }
+
+
+def paired_comparison(
+    rows: typing.Sequence[typing.Mapping],
+    metric: str,
+    scheme_a: str,
+    scheme_b: str,
+    load: float,
+    confidence: float = 0.95,
+) -> PairedComparison:
+    """Common-random-number comparison of two schemes at one load.
+
+    Only seeds present for *both* schemes pair up; the CI is over the
+    per-seed deltas (the low-variance estimator under CRN).
+    """
+    a = seed_values(rows, scheme_a, load, metric)
+    b = seed_values(rows, scheme_b, load, metric)
+    seeds = tuple(sorted(set(a) & set(b)))
+    deltas = tuple(a[s] - b[s] for s in seeds)
+    return PairedComparison(
+        metric=metric,
+        scheme_a=scheme_a,
+        scheme_b=scheme_b,
+        load=load,
+        seeds=seeds,
+        deltas=deltas,
+        ci=mean_ci(deltas, confidence),
+    )

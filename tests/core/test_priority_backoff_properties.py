@@ -1,0 +1,115 @@
+"""Property-style checks of the partitioned backoff windows.
+
+Randomized ``(alphas, beta, stage, scale)`` configurations drawn with a
+seeded stdlib ``random.Random`` — reproducible, no external property
+framework.  The paper's priority guarantee is structural: within any
+stage, the windows of distinct levels are pairwise disjoint, ordered by
+priority, and *any* draw of level ``j`` is strictly below *any* draw of
+level ``j+1``.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.priority_backoff import PriorityBackoff
+
+N_CASES = 60
+
+
+def random_cases():
+    """Deterministic stream of exercised configurations."""
+    rng = random.Random(0x5EED)
+    cases = []
+    for _ in range(N_CASES):
+        n_levels = rng.randint(1, 5)
+        alphas = tuple(rng.randint(1, 16) for _ in range(n_levels))
+        beta = rng.randint(0, 4)
+        max_stage = rng.randint(0, 6)
+        scale = rng.choice([0.5, 1.0, 1.0, 2.0, 3.7])
+        stage = rng.randint(0, max_stage + 2)  # past the cap on purpose
+        cases.append((alphas, beta, max_stage, scale, stage))
+    return cases
+
+
+CASES = random_cases()
+
+
+def windows(policy, stage):
+    return [policy.window(level, stage) for level in range(policy.num_levels)]
+
+
+class TestWindowPartition:
+    @pytest.mark.parametrize("alphas,beta,max_stage,scale,stage", CASES)
+    def test_windows_pairwise_disjoint_and_ordered(
+        self, alphas, beta, max_stage, scale, stage
+    ):
+        policy = PriorityBackoff(alphas, beta, max_stage, scale)
+        spans = windows(policy, stage)
+        for (off_a, w_a), (off_b, w_b) in zip(spans, spans[1:]):
+            assert w_a >= 1 and w_b >= 1
+            # ordered by priority, with exactly beta guard slots between
+            assert off_a + w_a + policy.beta == off_b
+        # pairwise disjointness for *all* pairs, not just neighbours
+        slots = [set(range(off, off + w)) for off, w in spans]
+        for i in range(len(slots)):
+            for j in range(i + 1, len(slots)):
+                assert not (slots[i] & slots[j]), (i, j)
+
+    @pytest.mark.parametrize("alphas,beta,max_stage,scale,stage", CASES)
+    def test_total_window_spans_every_level(
+        self, alphas, beta, max_stage, scale, stage
+    ):
+        policy = PriorityBackoff(alphas, beta, max_stage, scale)
+        last_off, last_w = policy.window(policy.num_levels - 1, stage)
+        assert policy.total_window(stage) == last_off + last_w
+
+    @pytest.mark.parametrize("alphas,beta,max_stage,scale,stage", CASES)
+    def test_windows_double_until_the_stage_cap(
+        self, alphas, beta, max_stage, scale, stage
+    ):
+        policy = PriorityBackoff(alphas, beta, max_stage, scale)
+        for level in range(policy.num_levels):
+            _, w0 = policy.window(level, 0)
+            _, w = policy.window(level, stage)
+            assert w == w0 * 2 ** min(stage, max_stage)
+
+
+class TestDrawOrdering:
+    @pytest.mark.parametrize(
+        "alphas,beta,max_stage,scale,stage",
+        [c for c in CASES if len(c[0]) >= 2][:20],
+    )
+    def test_any_higher_priority_draw_beats_any_lower(
+        self, alphas, beta, max_stage, scale, stage
+    ):
+        policy = PriorityBackoff(alphas, beta, max_stage, scale)
+        nprng = np.random.default_rng(7)
+        draws = {
+            level: [policy.draw_slots(level, stage, nprng) for _ in range(50)]
+            for level in range(policy.num_levels)
+        }
+        for level in range(policy.num_levels - 1):
+            assert max(draws[level]) < min(draws[level + 1])
+
+    def test_draws_cover_exactly_the_window(self):
+        policy = PriorityBackoff((2, 3), beta=1)
+        nprng = np.random.default_rng(1)
+        for level in (0, 1):
+            offset, width = policy.window(level, 0)
+            seen = {policy.draw_slots(level, 0, nprng) for _ in range(400)}
+            assert seen == set(range(offset, offset + width))
+
+
+class TestStarvationDrift:
+    def test_frozen_timer_crosses_into_higher_priority_range(self):
+        # A deferring low-priority station keeps its absolute slot, so
+        # after enough decrements it undercuts fresh high-priority draws.
+        policy = PriorityBackoff((4, 4, 8), beta=0)
+        offset2, width2 = policy.window(2, 0)
+        worst_level2 = offset2 + width2 - 1
+        offset0, _ = policy.window(0, 0)
+        decrements_needed = worst_level2 - offset0
+        assert decrements_needed > 0  # it does eventually drift in front
+        assert worst_level2 - decrements_needed == offset0

@@ -68,6 +68,7 @@ class TestConfigKey:
             {"load": 2.0},
             {"seed": 5},
             {"sim_time": 90.0},
+            {"monitor_invariants": True},
         ):
             varied = dataclasses.replace(base, **change)
             assert config_key(varied) != config_key(base), change
@@ -81,4 +82,5 @@ class TestConfigKey:
         key = config_key(ScenarioConfig())
         assert len(key) == 64
         int(key, 16)  # raises if not hex
-        assert KEY_FORMAT == 1
+        # 2: ScenarioConfig grew monitor_invariants (to_dict changed)
+        assert KEY_FORMAT == 2

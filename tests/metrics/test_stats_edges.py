@@ -1,0 +1,134 @@
+"""Edge cases of the statistics primitives: empty/singleton merges,
+degenerate variance, extrema through merge chains, spurt-gap resets."""
+
+import math
+
+import pytest
+
+from repro.metrics import JitterTracker, OnlineStats
+
+
+def filled(*values):
+    s = OnlineStats()
+    for v in values:
+        s.add(v)
+    return s
+
+
+class TestMergeEdges:
+    def test_merge_two_empties_stays_empty(self):
+        a = OnlineStats().merge(OnlineStats())
+        assert a.count == 0
+        assert a.mean == 0.0 and a.variance == 0.0
+        assert math.isinf(a.min) and math.isinf(a.max)
+
+    def test_merge_empty_into_filled_is_identity(self):
+        a = filled(1.0, 2.0, 3.0)
+        before = a.as_dict()
+        assert a.merge(OnlineStats()).as_dict() == before
+
+    def test_merge_filled_into_empty_copies_everything(self):
+        b = filled(1.0, 2.0, 3.0)
+        a = OnlineStats().merge(b)
+        assert a.as_dict() == b.as_dict()
+        # the copy is by value: mutating the source later is invisible
+        b.add(100.0)
+        assert a.count == 3 and a.max == 3.0
+
+    def test_merge_two_singletons_gets_real_variance(self):
+        a = filled(1.0).merge(filled(3.0))
+        assert a.count == 2
+        assert a.mean == pytest.approx(2.0)
+        assert a.variance == pytest.approx(2.0)  # ((1-2)^2+(3-2)^2)/(2-1)
+
+    def test_merge_returns_self_for_chaining(self):
+        a = OnlineStats()
+        assert a.merge(filled(1.0)) is a
+
+    def test_minmax_through_chained_merges(self):
+        a = filled(5.0)
+        for chunk in [(-3.0, 2.0), (9.0,), (), (0.0, 4.0)]:
+            a.merge(filled(*chunk))
+        assert a.min == -3.0
+        assert a.max == 9.0
+        assert a.count == 6
+
+    def test_chained_merge_matches_flat_accumulation(self):
+        chunks = [(0.1, 0.2), (0.9,), (0.4, 0.3, 0.8)]
+        merged = OnlineStats()
+        for chunk in chunks:
+            merged.merge(filled(*chunk))
+        flat = filled(*(v for chunk in chunks for v in chunk))
+        assert merged.count == flat.count
+        assert merged.mean == pytest.approx(flat.mean)
+        assert merged.variance == pytest.approx(flat.variance)
+
+
+class TestDegenerateMoments:
+    def test_variance_is_zero_below_two_observations(self):
+        assert OnlineStats().variance == 0.0
+        assert filled(7.0).variance == 0.0
+        assert filled(7.0).std == 0.0
+
+    def test_sem_is_infinite_below_two_observations(self):
+        assert math.isinf(OnlineStats().sem)
+        assert math.isinf(filled(7.0).sem)
+
+    def test_sem_with_two_observations(self):
+        s = filled(1.0, 3.0)
+        assert s.sem == pytest.approx(math.sqrt(2.0 / 2))
+
+    def test_identical_observations_have_zero_spread(self):
+        s = filled(*([2.5] * 10))
+        assert s.variance == pytest.approx(0.0, abs=1e-15)
+        assert s.sem == pytest.approx(0.0, abs=1e-8)
+        assert s.min == s.max == 2.5
+
+    def test_empty_as_dict_uses_none_extrema(self):
+        d = OnlineStats().as_dict()
+        assert d["min"] is None and d["max"] is None
+
+
+class TestJitterTrackerEdges:
+    def test_spurt_gap_resets_the_chain_automatically(self):
+        j = JitterTracker(spurt_gap=0.5)
+        j.delivered(0.00, 0.001)
+        j.delivered(0.02, 0.021)
+        assert j.stats.count == 1
+        # a silence longer than the gap: next packet starts a new spurt
+        j.delivered(5.0, 5.4)
+        assert j.stats.count == 1
+        # and the one after chains against the new spurt's head
+        j.delivered(5.02, 5.42)
+        assert j.stats.count == 2
+
+    def test_gap_exactly_at_threshold_keeps_the_chain(self):
+        j = JitterTracker(spurt_gap=0.5)
+        j.delivered(0.0, 0.001)
+        j.delivered(0.5, 0.501)  # == spurt_gap, not >
+        assert j.stats.count == 1
+
+    def test_max_jitter_is_zero_when_nothing_measured(self):
+        j = JitterTracker()
+        assert j.max_jitter == 0.0
+        j.delivered(0.0, 0.1)
+        assert j.max_jitter == 0.0  # single packet: still no pair
+
+    def test_zero_delay_deliveries_are_legal(self):
+        j = JitterTracker()
+        j.delivered(1.0, 1.0)
+        j.delivered(2.0, 2.0)
+        assert j.max_jitter == 0.0
+
+    def test_invalid_spurt_gap_rejected(self):
+        with pytest.raises(ValueError):
+            JitterTracker(spurt_gap=0.0)
+
+    def test_jitter_is_symmetric_in_lag_direction(self):
+        # shrinking lag counts the same as growing lag (absolute value)
+        grow, shrink = JitterTracker(), JitterTracker()
+        grow.delivered(0.00, 0.001)
+        grow.delivered(0.02, 0.025)  # lag 1 ms -> 5 ms
+        shrink.delivered(0.00, 0.005)
+        shrink.delivered(0.02, 0.021)  # lag 5 ms -> 1 ms
+        assert grow.max_jitter == pytest.approx(shrink.max_jitter)

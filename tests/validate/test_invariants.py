@@ -1,0 +1,226 @@
+"""Runtime invariant monitors: unit fixtures for each check plus a
+monitored end-to-end scenario staying silent."""
+
+import pytest
+
+from repro.core.admission import Session
+from repro.core.token_policy import TokenPolicy, TokenState
+from repro.metrics.collectors import MetricsCollector
+from repro.metrics.stats import JitterTracker
+from repro.network.bss import ScenarioConfig, BssScenario
+from repro.sim.engine import Simulator
+from repro.traffic.video import VideoParams
+from repro.traffic.voice import VoiceParams
+from repro.validate.invariants import InvariantSuite
+
+VOICE = VoiceParams(rate=25.0, max_jitter=0.030)
+VIDEO = VideoParams(avg_rate=60.0, burstiness=6.0, max_delay=0.050)
+
+
+def make_suite():
+    sim = Simulator()
+    return sim, InvariantSuite(sim)
+
+
+def voice_state(has_token=False):
+    state = TokenState(Session("voice/0", VOICE, False, 0.0))
+    state.has_token = has_token
+    return state
+
+
+def video_state(token_latency=0.02):
+    state = TokenState(
+        Session("video/0", VIDEO, False, 0.0, token_latency=token_latency)
+    )
+    state.has_token = False
+    return state
+
+
+class TestClockMonitor:
+    def test_attaches_as_step_observer(self):
+        sim, suite = make_suite()
+        assert sim.step_observer is not None
+        sim.call_in(1.0, lambda: None)
+        sim.call_in(2.0, lambda: None)
+        sim.run()
+        assert suite.clean
+
+    def test_backwards_clock_is_flagged(self):
+        _, suite = make_suite()
+        suite._on_step(5.0)
+        suite._on_step(4.0)
+        assert not suite.clean
+        assert "clock" in suite.violations[0].monitor
+
+
+class TestNavMonitor:
+    def test_normal_extension_is_silent(self):
+        sim, suite = make_suite()
+        nav = suite.monitored_nav()
+        nav.set(1.0)
+        assert nav.until == 1.0 and suite.clean
+
+    def test_set_in_the_past_is_flagged(self):
+        sim, suite = make_suite()
+        nav = suite.monitored_nav()
+        sim.call_in(10.0, nav.set, 3.0)  # at t=10, set NAV to 3
+        sim.run()
+        assert not suite.clean
+        assert suite.violations[0].monitor == "nav"
+        assert nav.until == 3.0  # behaviour unchanged, only reported
+
+    def test_noop_stale_set_is_silent(self):
+        sim, suite = make_suite()
+        nav = suite.monitored_nav()
+        nav.set(20.0)
+        sim.call_in(10.0, nav.set, 3.0)  # stale but not extending
+        sim.run()
+        assert suite.clean
+
+
+class TestTokenMonitor:
+    def test_negative_delay_is_flagged(self):
+        _, suite = make_suite()
+        suite.token_regen_scheduled(voice_state(), -0.01, 0.0)
+        assert any("negative regeneration" in v.message for v in suite.violations)
+
+    def test_regen_while_token_held_is_flagged(self):
+        _, suite = make_suite()
+        suite.token_regen_scheduled(voice_state(has_token=True), 0.01, 0.0)
+        assert any("still present" in v.message for v in suite.violations)
+
+    def test_voice_pacing_envelope(self):
+        _, suite = make_suite()
+        period = 1.0 / VOICE.rate
+        suite.token_regen_scheduled(voice_state(), period, 0.0)
+        assert suite.clean
+        suite.token_regen_scheduled(voice_state(), 3.0 * period, 0.0)
+        assert any("pacing envelope" in v.message for v in suite.violations)
+
+    def test_video_regen_must_match_engineered_latency(self):
+        _, suite = make_suite()
+        suite.token_regen_scheduled(video_state(0.02), 0.02, 0.0)
+        assert suite.clean
+        suite.token_regen_scheduled(video_state(0.02), 0.03, 0.0)
+        assert any("x_j" in v.message for v in suite.violations)
+
+    def test_policy_wiring_reports_before_engine_raises(self):
+        # the acceptance fixture: a broken token bound inside a real
+        # TokenPolicy is caught by the monitor
+        sim, suite = make_suite()
+        policy = TokenPolicy(sim)
+        suite.attach_token_policy(policy)
+        state = policy.add_session(Session("voice/0", VOICE, False, 0.0))
+        state.has_token = False
+        with pytest.raises(ValueError):
+            policy._schedule_regen(state, -0.5)  # engine rejects the past
+        assert any("negative regeneration" in v.message for v in suite.violations)
+
+    def test_double_grant_is_flagged(self):
+        _, suite = make_suite()
+        suite.token_granted(voice_state(has_token=True), 1.0)
+        assert any("already holding" in v.message for v in suite.violations)
+
+
+class TestCfpMonitor:
+    def test_clean_cfp_cycle(self):
+        _, suite = make_suite()
+        suite.cfp_started(1.0, max_dur=0.05)
+        suite.cfp_ended(1.04, duration=0.04, debt=0.002)
+        suite.cfp_started(1.05, max_dur=0.05)
+        suite.cfp_ended(1.06, duration=0.01, debt=0.001)
+        assert suite.clean
+
+    def test_overlapping_cfps_are_flagged(self):
+        _, suite = make_suite()
+        suite.cfp_started(1.0, max_dur=0.05)
+        suite.cfp_started(1.01, max_dur=0.05)
+        assert any("still open" in v.message for v in suite.violations)
+
+    def test_start_before_debt_expiry_is_flagged(self):
+        _, suite = make_suite()
+        suite.cfp_started(1.0, max_dur=0.05)
+        suite.cfp_ended(1.04, duration=0.04, debt=0.002)
+        suite.cfp_started(1.0405, max_dur=0.05)  # 0.5 ms early
+        assert any("debt" in v.message for v in suite.violations)
+
+    def test_overrun_is_flagged(self):
+        _, suite = make_suite()
+        suite.cfp_started(1.0, max_dur=0.05)
+        suite.cfp_ended(1.08, duration=0.08, debt=0.002)  # >> max + slack
+        assert any("announced maximum" in v.message for v in suite.violations)
+
+    def test_end_without_start_is_flagged(self):
+        _, suite = make_suite()
+        suite.cfp_ended(1.0, duration=0.01, debt=0.0)
+        assert any("without a matching start" in v.message for v in suite.violations)
+
+
+class TestFinalize:
+    def test_admitted_voice_over_jitter_budget(self):
+        _, suite = make_suite()
+        session = Session("voice/0", VOICE, False, 0.0)
+        suite.session_admitted(session)
+        collector = MetricsCollector()
+        tracker = collector.jitter.setdefault("voice/0", JitterTracker())
+        # two deliveries with wildly different latencies -> huge jitter
+        tracker.delivered(0.00, 0.001)
+        tracker.delivered(0.04, 0.141)
+        rendered = suite.finalize(collector, sim_time=10.0)
+        assert any("Theorem 1 budget" in line for line in rendered)
+
+    def test_admitted_video_over_delay_budget(self):
+        _, suite = make_suite()
+        suite.session_admitted(Session("video/0", VIDEO, False, 0.0))
+        collector = MetricsCollector()
+        collector.max_delay["video/0"] = VIDEO.max_delay * 2
+        rendered = suite.finalize(collector, sim_time=10.0)
+        assert any("Theorem 3 budget" in line for line in rendered)
+
+    def test_sources_within_budget_are_silent(self):
+        _, suite = make_suite()
+        suite.session_admitted(Session("voice/0", VOICE, False, 0.0))
+        suite.session_admitted(Session("video/0", VIDEO, False, 0.0))
+        collector = MetricsCollector()
+        collector.max_delay["video/0"] = VIDEO.max_delay / 2
+        assert suite.finalize(collector, sim_time=10.0) == []
+
+    def test_violation_list_is_capped_with_counter(self):
+        _, suite = make_suite()
+        for _ in range(suite.max_violations + 25):
+            suite.record("token", "boom")
+        rendered = suite.finalize(MetricsCollector(), sim_time=1.0)
+        assert len(rendered) == suite.max_violations + 1
+        assert rendered[-1] == "... 25 more"
+        assert suite.total_violations == suite.max_violations + 25
+
+
+class TestScenarioIntegration:
+    def test_monitored_run_is_clean_and_reports(self):
+        cfg = ScenarioConfig(
+            scheme="proposed", seed=1, sim_time=8.0, warmup=1.0,
+            load=1.0, new_voice_rate=0.3, new_video_rate=0.2,
+            handoff_voice_rate=0.15, handoff_video_rate=0.1,
+            mean_holding=20.0, monitor_invariants=True,
+        )
+        results = BssScenario(cfg).run()
+        assert results["invariant_violations"] == []
+
+    def test_unmonitored_run_has_no_key_and_no_observer(self):
+        cfg = ScenarioConfig(
+            scheme="proposed", seed=1, sim_time=8.0, warmup=1.0,
+        )
+        scenario = BssScenario(cfg)
+        assert scenario.sim.step_observer is None
+        results = scenario.run()
+        assert "invariant_violations" not in results
+
+    def test_conventional_scheme_attaches_sim_and_nav_only(self):
+        cfg = ScenarioConfig(
+            scheme="conventional", seed=1, sim_time=8.0, warmup=1.0,
+            monitor_invariants=True,
+        )
+        scenario = BssScenario(cfg)
+        assert scenario.sim.step_observer is not None
+        results = scenario.run()
+        assert results["invariant_violations"] == []

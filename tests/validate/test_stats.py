@@ -1,0 +1,142 @@
+"""Student-t machinery and paired common-random-number comparisons."""
+
+import math
+
+import pytest
+
+from repro.metrics.stats import OnlineStats
+from repro.validate.stats import (
+    ConfidenceInterval,
+    mean_ci,
+    paired_comparison,
+    seed_values,
+    stats_ci,
+    student_t_cdf,
+    t_critical,
+)
+
+#: textbook two-sided 95 % critical values
+T95 = {1: 12.706, 2: 4.303, 10: 2.228, 30: 2.042}
+
+
+class TestStudentT:
+    def test_cdf_symmetry_and_midpoint(self):
+        assert student_t_cdf(0.0, 5) == 0.5
+        for t in (0.3, 1.0, 2.5, 7.0):
+            assert student_t_cdf(t, 5) + student_t_cdf(-t, 5) == pytest.approx(1.0)
+
+    def test_cdf_monotone_in_t(self):
+        values = [student_t_cdf(t, 4) for t in (-3.0, -1.0, 0.0, 1.0, 3.0)]
+        assert values == sorted(values)
+        assert 0.0 < values[0] < values[-1] < 1.0
+
+    def test_cdf_approaches_normal_for_large_df(self):
+        # Phi(1.96) ~ 0.975
+        assert student_t_cdf(1.96, 10_000) == pytest.approx(0.975, abs=1e-3)
+
+    @pytest.mark.parametrize("df,expected", sorted(T95.items()))
+    def test_t_critical_matches_tables(self, df, expected):
+        assert t_critical(df, 0.95) == pytest.approx(expected, abs=2e-3)
+
+    def test_t_critical_decreases_with_df(self):
+        crits = [t_critical(df, 0.95) for df in (1, 2, 5, 10, 30, 100)]
+        assert crits == sorted(crits, reverse=True)
+
+    def test_t_critical_grows_with_confidence(self):
+        assert t_critical(10, 0.99) > t_critical(10, 0.95) > t_critical(10, 0.5)
+
+    def test_invalid_inputs_raise(self):
+        with pytest.raises(ValueError):
+            student_t_cdf(1.0, 0)
+        with pytest.raises(ValueError):
+            t_critical(0, 0.95)
+        with pytest.raises(ValueError):
+            t_critical(5, 1.0)
+
+
+class TestConfidenceInterval:
+    def test_mean_ci_known_case(self):
+        # mean 2, sd 1, n=4 -> half width t_{3,.975} * 1/2 = 1.591
+        ci = mean_ci([1.0, 2.0, 2.0, 3.0])
+        assert ci.mean == pytest.approx(2.0)
+        sem = math.sqrt(2.0 / 3.0 / 4.0)
+        assert ci.half_width == pytest.approx(t_critical(3) * sem, rel=1e-6)
+        assert ci.lo < 2.0 < ci.hi
+
+    def test_below_two_samples_is_infinite(self):
+        assert math.isinf(mean_ci([]).half_width)
+        assert math.isinf(mean_ci([3.0]).half_width)
+        assert mean_ci([3.0]).mean == 3.0
+
+    def test_excludes_zero(self):
+        assert ConfidenceInterval(5.0, 1.0, 3, 0.95).excludes_zero()
+        assert ConfidenceInterval(-5.0, 1.0, 3, 0.95).excludes_zero()
+        assert not ConfidenceInterval(0.5, 1.0, 3, 0.95).excludes_zero()
+        assert not mean_ci([3.0]).excludes_zero()
+
+    def test_stats_ci_matches_mean_ci(self):
+        values = [0.1, 0.4, 0.2, 0.9, 0.3]
+        acc = OnlineStats()
+        for v in values:
+            acc.add(v)
+        a, b = stats_ci(acc), mean_ci(values)
+        assert a.mean == pytest.approx(b.mean)
+        assert a.half_width == pytest.approx(b.half_width)
+
+    def test_as_dict_is_jsonable(self):
+        d = mean_ci([1.0, 2.0, 3.0]).as_dict()
+        assert set(d) == {"mean", "half_width", "lo", "hi", "n", "confidence"}
+
+
+def _rows():
+    out = []
+    for seed, (a, b) in enumerate([(0.5, 0.9), (0.4, 0.8), (0.6, 1.0)], start=1):
+        out.append({"scheme": "proposed", "load": 3.0, "seed": seed, "m": a})
+        out.append({"scheme": "conventional", "load": 3.0, "seed": seed, "m": b})
+    return out
+
+
+class TestPairedComparison:
+    def test_seed_values_filters_cell(self):
+        vals = seed_values(_rows(), "proposed", 3.0, "m")
+        assert vals == {1: 0.5, 2: 0.4, 3: 0.6}
+        assert seed_values(_rows(), "proposed", 1.0, "m") == {}
+        assert seed_values(_rows(), "proposed", 3.0, "missing") == {}
+
+    def test_pairs_by_seed_and_signs(self):
+        cmp = paired_comparison(_rows(), "m", "proposed", "conventional", 3.0)
+        assert cmp.seeds == (1, 2, 3)
+        assert cmp.deltas == pytest.approx((-0.4, -0.4, -0.4))
+        assert cmp.consistently_negative()
+        assert cmp.supports_less()
+        assert not cmp.supports_greater()
+
+    def test_unpaired_seeds_are_dropped(self):
+        rows = _rows()
+        rows.append({"scheme": "proposed", "load": 3.0, "seed": 9, "m": 0.0})
+        cmp = paired_comparison(rows, "m", "proposed", "conventional", 3.0)
+        assert cmp.seeds == (1, 2, 3)
+
+    def test_ci_significance_with_mixed_signs(self):
+        # one seed flips sign but the mean delta is far from zero
+        rows = []
+        for seed, delta in enumerate([-0.5, -0.6, -0.55, -0.52, 0.01], start=1):
+            rows.append({"scheme": "a", "load": 1.0, "seed": seed, "m": delta})
+            rows.append({"scheme": "b", "load": 1.0, "seed": seed, "m": 0.0})
+        cmp = paired_comparison(rows, "m", "a", "b", 1.0)
+        assert not cmp.consistently_negative()
+        assert cmp.significantly_negative()
+        assert cmp.supports_less()
+
+    def test_no_overlap_supports_nothing(self):
+        rows = [{"scheme": "a", "load": 1.0, "seed": 1, "m": 1.0}]
+        cmp = paired_comparison(rows, "m", "a", "b", 1.0)
+        assert cmp.n == 0
+        assert not cmp.supports_less()
+        assert not cmp.supports_greater()
+
+    def test_as_dict_round_trips_through_json(self):
+        import json
+
+        cmp = paired_comparison(_rows(), "m", "proposed", "conventional", 3.0)
+        assert json.loads(json.dumps(cmp.as_dict()))["metric"] == "m"
