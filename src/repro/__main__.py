@@ -7,9 +7,12 @@ quick             run one scenario and print its summary
 fig5              regenerate Fig. 5 (bounds vs simulation)
 sweep             run the Figs. 6-11 sweep and print every series
 validate          run a validation tier; exit nonzero on failed claims
+chaos             run a fault-injection soak tier; emit a degradation
+                  report (structural invariants gate every mix, QoS
+                  budgets gate the no-injection baseline mix)
 
-Exit codes: 0 success; 1 failed validation claims; 2 sweep points
-permanently failed after retries.
+Exit codes: 0 success; 1 failed validation claims / chaos gates;
+2 sweep points permanently failed after retries.
 """
 
 from __future__ import annotations
@@ -182,6 +185,30 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .exec import SweepExecutionError
+    from .faults.chaos import run_chaos
+
+    executor = _sweep_executor(args)
+    try:
+        report = run_chaos(args.tier, executor=executor)
+    except SweepExecutionError as exc:
+        _print_failures(exc)
+        return 2
+    summary = executor.summary()
+    print(
+        "  grid: {total_points} points, {executed} simulated, "
+        "{cache_hits} cached, {resumed} resumed in {wall_time:.1f}s "
+        "(workers={workers})".format(**summary),
+        file=sys.stderr,
+    )
+    out = args.out or f".repro-cache/chaos-{report.tier}-report.json"
+    path = report.save(out)
+    print(f"  degradation report written to {path}", file=sys.stderr)
+    print(report.render())
+    return 0 if report.passed else 1
+
+
 def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
@@ -256,6 +283,29 @@ def main(argv: list[str] | None = None) -> int:
                           help="verdict report path (default: "
                                ".repro-cache/validate-<tier>-report.json)")
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="run a fault-injection soak tier (degradation report)",
+    )
+    chaos.add_argument("--tier", default="smoke", choices=["smoke", "full"],
+                       help="which chaos tier to run (default: smoke)")
+    chaos.add_argument("--workers", type=_positive_int, default=1,
+                       help="process-pool size (1 = serial in-process)")
+    chaos.add_argument("--resume", action="store_true",
+                       help="skip points already in the checkpoint journal")
+    chaos.add_argument("--no-cache", action="store_true",
+                       help="disable the content-addressed result cache")
+    chaos.add_argument("--cache-dir", default=".repro-cache",
+                       help="result cache directory (default: .repro-cache)")
+    chaos.add_argument("--journal",
+                       default=".repro-cache/chaos-journal.jsonl",
+                       help="checkpoint journal path (JSON-lines)")
+    chaos.add_argument("--timeout", type=float, default=None,
+                       help="per-point wall-clock budget in s (pool mode)")
+    chaos.add_argument("--out", default=None,
+                       help="degradation report path (default: "
+                            ".repro-cache/chaos-<tier>-report.json)")
+
     args = parser.parse_args(argv)
     handlers = {
         "tables": _cmd_tables,
@@ -263,6 +313,7 @@ def main(argv: list[str] | None = None) -> int:
         "fig5": _cmd_fig5,
         "sweep": _cmd_sweep,
         "validate": _cmd_validate,
+        "chaos": _cmd_chaos,
     }
     return handlers[args.command](args)
 

@@ -54,6 +54,11 @@ class QosApConfig:
     #: HCF-style TXOP: max frames a backlogged station may send per
     #: poll (1 = classic PCF single response)
     txop_packets: int = 1
+    #: evict an admitted source after this many consecutive abnormal
+    #: nulls (polls that never reached it); its token buffer and
+    #: admitted bandwidth are reclaimed and it must re-request
+    #: admission.  0 disables eviction.
+    evict_after_nulls: int = 6
     #: upper bound on the contention-period gap owed after one CFP.
     #: The long-run channel-III share is protected by admission (RT
     #: load is capped at the I+II shares), so this gate only needs to
@@ -75,6 +80,8 @@ class QosApConfig:
             raise ValueError("cp_debt_cap must be >= 0")
         if self.txop_packets < 1:
             raise ValueError("txop_packets must be >= 1")
+        if self.evict_after_nulls < 0:
+            raise ValueError("evict_after_nulls must be >= 0")
 
 
 class QosAccessPoint(ChannelListener):
@@ -122,8 +129,10 @@ class QosAccessPoint(ChannelListener):
             budget_check=self._budget_allows,
             voice_order=self.config.voice_order,
             drain_interval=self.admission.packet_time,
+            evict_after=self.config.evict_after_nulls,
         )
         self.policy.on_token = self._maybe_start_cfp
+        self.policy.on_evict = self._evict_station
         self.coordinator = PcfCoordinator(
             sim, channel, timing, nav, ap_id,
             txop_packets=self.config.txop_packets,
@@ -144,6 +153,12 @@ class QosAccessPoint(ChannelListener):
         self.blocked_new = 0
         self.rejected_handoff = 0
         self.reactivations = 0
+        self.evictions = 0
+        self.readmissions = 0
+        #: admitted airtime demand (fraction of the channel) returned
+        #: to the admission pool by evictions
+        self.reclaimed_bandwidth = 0.0
+        self._evicted_ids: set[str] = set()
 
         channel.attach(self)
         if self.feedback is not None and self.config.adaptation_interval > 0:
@@ -160,9 +175,36 @@ class QosAccessPoint(ChannelListener):
         self.stations.pop(station_id, None)
         self.coordinator.unregister(station_id)
         self.policy.remove_session(station_id)
+        self._evicted_ids.discard(station_id)
         session = self.admission.find(station_id)
         if session is not None:
             self.admission.remove(session)
+
+    def _evict_station(self, station_id: str) -> None:
+        """Missed-poll escalation: reclaim an unreachable session.
+
+        Unlike :meth:`station_departed` the station stays registered
+        (with the AP and the coordinator) so a recovery can re-request
+        admission through the normal REQUEST path; only its token
+        buffer and admitted bandwidth are torn down.
+        """
+        session = self.admission.find(station_id)
+        if session is not None:
+            rate = (
+                session.params.rate
+                if session.is_voice
+                else session.params.avg_rate
+            )
+            self.reclaimed_bandwidth += rate * self.admission.packet_time
+            self.admission.remove(session)
+        self.policy.remove_session(station_id)
+        station = self.stations.get(station_id)
+        if station is not None:
+            station.evicted()
+        self.evictions += 1
+        self._evicted_ids.add(station_id)
+        if self.monitor is not None:
+            self.monitor.session_evicted(station_id, self.sim.now)
 
     # -- request handling (ChannelListener) -----------------------------------
     def on_frame(self, frame: Frame, ok: bool, now: float) -> None:
@@ -206,6 +248,10 @@ class QosAccessPoint(ChannelListener):
             self.admitted_handoff += 1
         else:
             self.admitted_new += 1
+        if sid in self._evicted_ids:
+            # a previously evicted session earned its way back in
+            self.readmissions += 1
+            self._evicted_ids.discard(sid)
         self.policy.add_session(session)
         if self.monitor is not None:
             self.monitor.session_admitted(session)
@@ -285,6 +331,12 @@ class QosAccessPoint(ChannelListener):
     def on_response(
         self, station_id: str, frame: Frame | None, ok: bool, now: float
     ) -> None:
+        if frame is None and not ok:
+            # Abnormal null: the poll never reached the station, so no
+            # exchange happened — nothing is charged to the channel
+            # budgets; the policy runs its miss escalation.
+            self.policy.on_response(station_id, frame, ok, now)
+            return
         state = self.policy.get(station_id)
         if state is not None:
             # charge the nominal exchange time to the right channel

@@ -42,6 +42,7 @@ class TokenState:
         "polls",
         "tokens_generated",
         "last_token_time",
+        "misses",
     )
 
     def __init__(self, session: Session, now: float = 0.0) -> None:
@@ -53,6 +54,9 @@ class TokenState:
         #: when the current/most recent token appeared — the anchor of
         #: the drift-free 1/r pacing clock for voice
         self.last_token_time = now
+        #: consecutive *abnormal* nulls (lost poll / unreachable radio);
+        #: legit empty-buffer nulls do not count
+        self.misses = 0
 
     @property
     def station_id(self) -> str:
@@ -77,6 +81,11 @@ class TokenPolicy:
         per ``drain_interval`` instead of ``1/r``.  A piggyback that
         only signals an ongoing-but-currently-drained spurt still
         paces at ``1/r``.  0 disables draining (always ``1/r``).
+    evict_after:
+        Drop a source after this many *consecutive* abnormal nulls
+        (corrupted polls that exhausted their retries, unreachable
+        radios) via the ``on_evict`` callback; legit empty-buffer
+        nulls never count.  0 (the default) disables eviction.
     """
 
     def __init__(
@@ -86,6 +95,7 @@ class TokenPolicy:
         budget_check: typing.Callable[[Session], bool] | None = None,
         voice_order: str = "ascending",
         drain_interval: float = 0.0,
+        evict_after: int = 0,
     ) -> None:
         if multipoll_size < 1:
             raise ValueError(f"multipoll_size must be >= 1, got {multipoll_size}")
@@ -113,6 +123,13 @@ class TokenPolicy:
         self._by_station: dict[str, TokenState] = {}
         #: fired whenever a token appears (AP hooks CFP scheduling here)
         self.on_token: typing.Callable[[], None] | None = None
+        if evict_after < 0:
+            raise ValueError(f"evict_after must be >= 0, got {evict_after}")
+        #: evict a source after this many consecutive abnormal nulls
+        #: (lost polls / unreachable radio); 0 disables eviction
+        self.evict_after = evict_after
+        #: ``fn(station_id)`` the AP installs to reclaim the session
+        self.on_evict: typing.Callable[[str], None] | None = None
         #: optional :class:`repro.validate.invariants.InvariantSuite`
         self.monitor = None
 
@@ -194,6 +211,7 @@ class TokenPolicy:
         state = self._by_station.get(station_id)
         if state is None:
             return False
+        state.misses = 0
         self._cancel_regen(state)
         if not state.has_token:
             state.has_token = True
@@ -262,6 +280,13 @@ class TokenPolicy:
         state = self._by_station.get(station_id)
         if state is None:
             return
+        if frame is None and not ok:
+            # Abnormal null: the poll never reached the station (lost
+            # after retries, or its radio is down).  This is a *miss*,
+            # not an empty buffer — escalate instead of pacing.
+            self._poll_missed(state, now)
+            return
+        state.misses = 0
         session = state.session
         if session.is_voice:
             if frame is not None and frame.piggyback:
@@ -307,3 +332,28 @@ class TokenPolicy:
             # would only burn CFP time on more nulls.
             return
         self._schedule_regen(state, session.token_latency)
+
+    def _poll_missed(self, state: TokenState, now: float) -> None:
+        """Escalation ladder for a poll that never reached its station.
+
+        Count the miss; at ``evict_after`` consecutive misses hand the
+        session to ``on_evict`` (the AP reclaims its bandwidth).  Below
+        the threshold, keep the source reachable: a voice source's
+        token was already consumed at poll time, so without a probe
+        regeneration it would starve forever — re-arm at a quarter
+        period (well inside the monitors' ``2/r`` pacing envelope).  A
+        video token persists across the miss, so the very next
+        scheduling step re-polls it without any extra timer.
+        """
+        state.misses += 1
+        if self.evict_after > 0 and state.misses >= self.evict_after:
+            if self.on_evict is not None:
+                self.on_evict(state.station_id)
+            return
+        session = state.session
+        if (
+            session.is_voice
+            and not state.has_token
+            and state.regen_handle is None
+        ):
+            self._schedule_regen(state, (1.0 / session.params.rate) / 4.0)

@@ -24,8 +24,10 @@ if typing.TYPE_CHECKING:  # pragma: no cover
 __all__ = ["KEY_FORMAT", "jsonable", "canonical_json", "normalize_row", "config_key"]
 
 #: bump to invalidate every existing cache entry and journal row
-#: (2: ScenarioConfig grew monitor_invariants, changing to_dict())
-KEY_FORMAT = 2
+#: (2: ScenarioConfig grew monitor_invariants, changing to_dict();
+#:  3: ScenarioConfig grew the faults FaultPlan field and faulted rows
+#:  carry a degradation sub-dict)
+KEY_FORMAT = 3
 
 
 def jsonable(value: typing.Any) -> typing.Any:

@@ -1,0 +1,59 @@
+"""Frame-type-targeted loss injection.
+
+:class:`FrameLossInjector` hangs off the channel
+(``Channel.fault_injector``): after the collision/BER verdict, each
+surviving frame is checked against the plan's
+:class:`~repro.faults.plan.FrameLossRule` list and corrupted with the
+rule's probability.  This is how a chaos scenario loses CF-Polls, ACKs
+or CF-Ends *specifically* — the control frames the paper's Theorems
+quietly assume always arrive — without touching the data plane.
+
+One rng draw happens per (matching, active) rule per frame, all from
+the dedicated ``faults/frames`` stream, so injection is reproducible
+and independent of the scenario's other randomness.
+"""
+
+from __future__ import annotations
+
+import typing
+
+import numpy as np
+
+from .plan import FrameLossRule
+
+__all__ = ["FrameLossInjector"]
+
+
+class FrameLossInjector:
+    """Corrupts frames by type according to a rule list."""
+
+    def __init__(
+        self,
+        rules: typing.Sequence[FrameLossRule],
+        rng: np.random.Generator,
+    ) -> None:
+        self.rules = tuple(rules)
+        self._rng = rng
+        #: frames corrupted, per frame-type value ("cf_poll", ...)
+        self.injected: dict[str, int] = {}
+        #: frames inspected (any rule matched its type, active or not)
+        self.considered = 0
+
+    def corrupts(self, frame: typing.Any, now: float) -> bool:
+        """Should ``frame`` (which survived BER/collision) be corrupted?"""
+        ftype = getattr(frame, "ftype", None)
+        value = getattr(ftype, "value", ftype)
+        matched = False
+        for rule in self.rules:
+            if rule.ftype != value:
+                continue
+            matched = True
+            if not rule.active(now):
+                continue
+            if rule.probability > 0.0 and self._rng.random() < rule.probability:
+                self.injected[value] = self.injected.get(value, 0) + 1
+                self.considered += 1
+                return True
+        if matched:
+            self.considered += 1
+        return False

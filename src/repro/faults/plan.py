@@ -1,0 +1,196 @@
+"""The serializable description of what a run injects: :class:`FaultPlan`.
+
+A fault plan rides inside :class:`~repro.network.bss.ScenarioConfig`
+(its ``faults`` field), so it is part of a simulation point's identity:
+two runs with different plans hash to different
+:func:`~repro.exec.hashing.config_key` addresses, and a plan-free run
+keys (and behaves) exactly like the seed's fault-free scenarios.
+
+Three injector families, all optional:
+
+* **channel** — replace the i.i.d. ``(1-BER)^L`` error model with the
+  two-state Gilbert–Elliott bursty model
+  (:class:`~repro.faults.gilbert.GilbertElliottModel`);
+* **frames** — corrupt specific frame *types* with a target
+  probability, optionally inside a time window
+  (:class:`~repro.faults.injector.FrameLossInjector`) — lose CF-Polls,
+  ACKs or CF-Ends specifically;
+* **stations** — crash or freeze admitted real-time terminals on a
+  schedule (:class:`~repro.faults.stations.StationFaultDriver`).
+
+Attaching *any* plan — even an empty ``FaultPlan()`` — arms the
+hardened protocol semantics (strict CF-End delivery with NAV-expiry
+fallback); see ``network/bss.py``.  Fault-free configs (``faults is
+None``) keep the seed's idealizations so the golden quickstart row and
+every shape claim reproduce byte-identically.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+__all__ = [
+    "GilbertElliottParams",
+    "FrameLossRule",
+    "StationFault",
+    "FaultPlan",
+    "FAULT_MODES",
+    "FAULT_KINDS",
+]
+
+#: station fault modes: ``crash`` loses the buffer (device reboot),
+#: ``freeze`` keeps it (radio mute; packets queue and expire in place)
+FAULT_MODES = ("crash", "freeze")
+
+#: station targeting filters
+FAULT_KINDS = ("any", "voice", "video")
+
+
+@dataclasses.dataclass(frozen=True)
+class GilbertElliottParams:
+    """Two-state bursty channel: Good/Bad with per-state BER.
+
+    The state chain advances one step per frame; the stationary bad
+    probability is ``p_good_to_bad / (p_good_to_bad + p_bad_to_good)``.
+    """
+
+    p_good_to_bad: float
+    p_bad_to_good: float
+    ber_good: float = 0.0
+    ber_bad: float = 1e-3
+
+    def __post_init__(self) -> None:
+        for name in ("p_good_to_bad", "p_bad_to_good"):
+            p = getattr(self, name)
+            if not 0.0 < p <= 1.0:
+                raise ValueError(f"{name} must be in (0, 1], got {p}")
+        for name in ("ber_good", "ber_bad"):
+            b = getattr(self, name)
+            if not 0.0 <= b < 1.0:
+                raise ValueError(f"{name} must be in [0, 1), got {b}")
+
+    @property
+    def stationary_bad(self) -> float:
+        """Long-run fraction of frames seeing the Bad state."""
+        return self.p_good_to_bad / (self.p_good_to_bad + self.p_bad_to_good)
+
+
+@dataclasses.dataclass(frozen=True)
+class FrameLossRule:
+    """Corrupt frames of one type with probability ``probability``.
+
+    ``ftype`` is a :class:`~repro.mac.frames.FrameType` value string
+    (``"cf_poll"``, ``"ack"``, ``"cf_end"``, ...).  The rule applies
+    from ``start`` until ``end`` (``None`` = forever).
+    """
+
+    ftype: str
+    probability: float
+    start: float = 0.0
+    end: float | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(
+                f"probability must be in [0, 1], got {self.probability}"
+            )
+        if self.start < 0.0:
+            raise ValueError(f"start must be >= 0, got {self.start}")
+        if self.end is not None and self.end <= self.start:
+            raise ValueError(
+                f"need end > start, got [{self.start}, {self.end})"
+            )
+
+    def active(self, now: float) -> bool:
+        return self.start <= now and (self.end is None or now < self.end)
+
+
+@dataclasses.dataclass(frozen=True)
+class StationFault:
+    """One scheduled station fault.
+
+    At time ``at`` the driver picks one currently-reachable admitted
+    real-time station (filtered by ``kind``, chosen via the seeded
+    fault RNG stream) and takes its radio down.  ``duration`` seconds
+    later it recovers and rejoins; ``duration=None`` means the station
+    never comes back (the call eventually ends upstream).
+    """
+
+    at: float
+    mode: str = "freeze"
+    duration: float | None = None
+    kind: str = "any"
+
+    def __post_init__(self) -> None:
+        if self.at < 0.0:
+            raise ValueError(f"at must be >= 0, got {self.at}")
+        if self.mode not in FAULT_MODES:
+            raise ValueError(
+                f"mode must be one of {FAULT_MODES}, got {self.mode!r}"
+            )
+        if self.duration is not None and self.duration <= 0.0:
+            raise ValueError(
+                f"duration must be > 0 or None, got {self.duration}"
+            )
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"kind must be one of {FAULT_KINDS}, got {self.kind!r}"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPlan:
+    """Everything one run injects (see module docstring)."""
+
+    gilbert_elliott: GilbertElliottParams | None = None
+    frame_loss: tuple[FrameLossRule, ...] = ()
+    station_faults: tuple[StationFault, ...] = ()
+
+    def __post_init__(self) -> None:
+        # tolerate lists from hand-written configs
+        if not isinstance(self.frame_loss, tuple):
+            object.__setattr__(self, "frame_loss", tuple(self.frame_loss))
+        if not isinstance(self.station_faults, tuple):
+            object.__setattr__(
+                self, "station_faults", tuple(self.station_faults)
+            )
+
+    @property
+    def injects_anything(self) -> bool:
+        """False for the empty plan (hardening armed, nothing injected)."""
+        return bool(
+            self.gilbert_elliott or self.frame_loss or self.station_faults
+        )
+
+    # -- serialization (JSON round-trip safe, cache-key canonical) --------
+    def to_dict(self) -> dict[str, typing.Any]:
+        return {
+            "gilbert_elliott": (
+                dataclasses.asdict(self.gilbert_elliott)
+                if self.gilbert_elliott is not None
+                else None
+            ),
+            "frame_loss": [dataclasses.asdict(r) for r in self.frame_loss],
+            "station_faults": [
+                dataclasses.asdict(f) for f in self.station_faults
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: typing.Mapping[str, typing.Any]) -> "FaultPlan":
+        ge = data.get("gilbert_elliott")
+        return cls(
+            gilbert_elliott=(
+                GilbertElliottParams(**ge) if isinstance(ge, typing.Mapping)
+                else ge
+            ),
+            frame_loss=tuple(
+                r if isinstance(r, FrameLossRule) else FrameLossRule(**r)
+                for r in data.get("frame_loss", ())
+            ),
+            station_faults=tuple(
+                f if isinstance(f, StationFault) else StationFault(**f)
+                for f in data.get("station_faults", ())
+            ),
+        )

@@ -1,0 +1,107 @@
+"""Scheduled station crash/freeze/recover faults.
+
+:class:`StationFaultDriver` executes a plan's
+:class:`~repro.faults.plan.StationFault` schedule against one BSS: at
+each fault's time it picks a currently-reachable admitted real-time
+terminal (via the seeded ``faults/stations`` stream, so the victim is
+reproducible), takes its radio down through
+:meth:`~repro.mac.station.RealTimeStation.fault`, and — for bounded
+faults — brings it back with
+:meth:`~repro.mac.station.RealTimeStation.fault_cleared` after the
+fault's duration.
+
+The *protocol's* reaction (bounded re-poll, eviction after K missed
+polls, bandwidth reclamation, re-admission on recovery) lives in the
+mac/core layers; this driver only turns radios off and on.
+"""
+
+from __future__ import annotations
+
+import typing
+
+import numpy as np
+
+from ..mac.station import RealTimeStation
+from ..sim.engine import Simulator
+from ..traffic.base import TrafficKind
+from .plan import StationFault
+
+__all__ = ["StationFaultDriver"]
+
+_KIND_FILTER = {
+    "voice": TrafficKind.VOICE,
+    "video": TrafficKind.VIDEO,
+}
+
+
+class StationFaultDriver:
+    """Applies a station-fault schedule to a running scenario.
+
+    Parameters
+    ----------
+    sim:
+        Scenario simulator (fault times run on its clock).
+    stations:
+        The AP's live station registry (id -> station); consulted at
+        fire time so only stations that still exist are hit.
+    faults:
+        The schedule from the :class:`~repro.faults.plan.FaultPlan`.
+    rng:
+        Seeded generator used only for victim selection.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        stations: typing.Mapping[str, RealTimeStation],
+        faults: typing.Sequence[StationFault],
+        rng: np.random.Generator,
+    ) -> None:
+        self.sim = sim
+        self.stations = stations
+        self._rng = rng
+        #: (time, station_id, mode) per fault actually applied
+        self.applied: list[tuple[float, str, str]] = []
+        self.crashes = 0
+        self.freezes = 0
+        self.recoveries = 0
+        #: faults that found no eligible victim when they fired
+        self.skipped = 0
+        for fault in faults:
+            sim.call_at(fault.at, self._fire, fault)
+
+    # -- firing ------------------------------------------------------------
+    def _candidates(self, kind: str) -> list[RealTimeStation]:
+        want = _KIND_FILTER.get(kind)
+        out = [
+            st
+            for sid, st in sorted(self.stations.items())
+            if st.admitted
+            and not st.radio_down
+            and not st.eof
+            and (want is None or st.kind == want)
+        ]
+        return out
+
+    def _fire(self, fault: StationFault) -> None:
+        candidates = self._candidates(fault.kind)
+        if not candidates:
+            self.skipped += 1
+            return
+        victim = candidates[int(self._rng.integers(len(candidates)))]
+        crash = fault.mode == "crash"
+        victim.fault(crash=crash)
+        if crash:
+            self.crashes += 1
+        else:
+            self.freezes += 1
+        self.applied.append((self.sim.now, victim.station_id, fault.mode))
+        if fault.duration is not None:
+            self.sim.call_in(fault.duration, self._recover, victim)
+
+    def _recover(self, station: RealTimeStation) -> None:
+        # the call may have torn down (or ended) while the radio was out
+        if station.eof or station.station_id not in self.stations:
+            return
+        station.fault_cleared()
+        self.recoveries += 1

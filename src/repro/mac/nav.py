@@ -3,6 +3,14 @@
 The beacon that opens a contention-free period announces its maximum
 duration; every DCF station sets its NAV and refrains from contending
 until either the announced time passes or a CF-End frame resets it.
+
+That "either" is the CF-End-loss fallback contract: :meth:`Nav.blocked`
+compares against the wall clock, so a NAV that is never cleared simply
+expires at the beacon-announced deadline and contention resumes on its
+own.  When the coordinator runs with ``strict_cf_end`` (fault-injected
+scenarios), a corrupted CF-End deliberately skips :meth:`Nav.clear` and
+the BSS degrades to exactly this expiry path — losing the remainder of
+the announced CFP window to silence, but never deadlocking.
 """
 
 from __future__ import annotations

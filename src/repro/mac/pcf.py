@@ -68,6 +68,16 @@ class CfpStats:
     responses: int = 0
     null_responses: int = 0
     cfp_time: float = 0.0
+    #: poll frames retransmitted after a corrupted first copy
+    poll_retries: int = 0
+    #: polls abandoned after exhausting the retry budget
+    polls_lost: int = 0
+    #: scheduling steps that named an already-departed station
+    ghost_polls: int = 0
+    #: polled stations whose radio was down (fault injection)
+    unreachable_nulls: int = 0
+    #: CF-End frames corrupted on the air (strict mode only)
+    cf_ends_lost: int = 0
 
 
 class PcfCoordinator(ChannelListener):
@@ -99,6 +109,17 @@ class PcfCoordinator(ChannelListener):
         #: SIFS-separated, on a single poll — the 802.11e HCCA TXOP the
         #: paper's conclusion points at.  1 = classic PCF.
         self.txop_packets = txop_packets
+        #: how many times a corrupted CF-Poll/multipoll is retransmitted
+        #: (PIFS-separated) before the coordinator gives up on the step
+        #: and reports the polled stations unreachable
+        self.max_poll_retries = 2
+        #: honor CF-End delivery: when True a corrupted CF-End leaves
+        #: the NAV armed and the BSS falls back to NAV expiry (the
+        #: 802.11 duration-field contract).  Off by default — the seed's
+        #: fault-free scenarios idealize CF-End delivery, and the golden
+        #: regression rows depend on that; attaching a FaultPlan to a
+        #: scenario switches this on (see network/bss.py).
+        self.strict_cf_end = False
         self.stats = CfpStats()
         self.stations: dict[str, CfPollable] = {}
 
@@ -199,29 +220,66 @@ class PcfCoordinator(ChannelListener):
         if action is None:
             self._send_cf_end()
             return
-        missing = [s for s in action.station_ids if s not in self.stations]
-        if missing:
-            raise KeyError(f"poll of unregistered station(s): {missing}")
-        if len(action.station_ids) == 1:
+        # A scheduler may name a station that departed mid-CFP (its
+        # teardown raced the scheduling step).  Degrade to an abnormal
+        # null so the scheduler can clean up its own state, and poll
+        # whoever is left.
+        ids = []
+        for sid in action.station_ids:
+            if sid in self.stations:
+                ids.append(sid)
+            else:
+                self.stats.ghost_polls += 1
+                self._scheduler.on_response(sid, None, False, now)
+        if not ids:
+            self._schedule_step(0.0)
+            return
+        if len(ids) == 1:
             self.stats.polls_sent += 1
-            frame = Frame(
-                FrameType.CF_POLL,
-                src=self.ap_id,
-                dest=action.station_ids[0],
-            )
+            frame = Frame(FrameType.CF_POLL, src=self.ap_id, dest=ids[0])
         else:
             self.stats.multipolls_sent += 1
             frame = Frame(
                 FrameType.CF_MULTIPOLL,
                 src=self.ap_id,
                 dest=BROADCAST,
-                poll_list=tuple(action.station_ids),
+                poll_list=tuple(ids),
             )
+        self._transmit_poll(frame, ids, self.max_poll_retries)
+
+    def _transmit_poll(
+        self, frame: Frame, ids: list[str], retries_left: int
+    ) -> None:
         done = self.channel.transmit(frame, frame.airtime(self.timing), sender=self)
-        remaining = list(action.station_ids)
         done.add_callback(
-            lambda ev: self.sim.call_in(self.timing.sifs, self._responses, remaining)
+            lambda ev: self._poll_done(ev.value.ok, frame, ids, retries_left)
         )
+
+    def _poll_done(
+        self, ok: bool, frame: Frame, ids: list[str], retries_left: int
+    ) -> None:
+        """The poll frame left the air — was it actually delivered?
+
+        A corrupted CF-Poll was never heard, so nobody may answer it.
+        The coordinator reclaims the medium after PIFS and retransmits;
+        once the retry budget is gone the polled stations are reported
+        as abnormal nulls (``ok=False``) so the scheduler can escalate
+        (re-pacing, eviction) instead of waiting forever.
+        """
+        if ok:
+            self.sim.call_in(self.timing.sifs, self._responses, list(ids))
+            return
+        if retries_left > 0:
+            self.stats.poll_retries += 1
+            self.sim.call_in(
+                self.timing.pifs, self._transmit_poll, frame, ids, retries_left - 1
+            )
+            return
+        assert self._scheduler is not None
+        self.stats.polls_lost += 1
+        for sid in ids:
+            self._scheduler.on_response(sid, None, False, self.sim.now)
+        self._schedule_step(self.timing.pifs)
 
     def _responses(self, remaining: list[str]) -> None:
         """Collect poll responses, one per SIFS, then schedule next step."""
@@ -235,8 +293,19 @@ class PcfCoordinator(ChannelListener):
         self, sid: str, remaining: list[str], burst_left: int
     ) -> None:
         station = self.stations.get(sid)
-        frame = station.cf_response(self.sim.now) if station is not None else None
         assert self._scheduler is not None
+        if station is not None and getattr(station, "radio_down", False):
+            # Fault-injected radio silence: the station cannot have
+            # heard the poll.  Unlike a legit empty-buffer null this is
+            # reported abnormal (ok=False) so the scheduler's miss
+            # escalation runs.
+            self.stats.unreachable_nulls += 1
+            self._scheduler.on_response(sid, None, False, self.sim.now)
+            self.sim.call_in(
+                self.timing.pifs - self.timing.sifs, self._responses, remaining
+            )
+            return
+        frame = station.cf_response(self.sim.now) if station is not None else None
         if frame is None:
             # No response: the point coordinator reclaims the medium
             # after PIFS (it has already waited SIFS).
@@ -269,12 +338,19 @@ class PcfCoordinator(ChannelListener):
     def _send_cf_end(self) -> None:
         frame = Frame(FrameType.CF_END, src=self.ap_id, dest=BROADCAST)
         done = self.channel.transmit(frame, frame.airtime(self.timing), sender=self)
-        done.add_callback(lambda ev: self._finished())
+        done.add_callback(lambda ev: self._finished(ev.value.ok))
 
-    def _finished(self) -> None:
+    def _finished(self, cf_end_ok: bool = True) -> None:
         now = self.sim.now
         self.stats.cfp_time += now - self._cfp_start
-        self.nav.clear(now)
+        if cf_end_ok or not self.strict_cf_end:
+            self.nav.clear(now)
+        else:
+            # The CF-End never reached the stations: their NAVs stay
+            # armed until the beacon's announced deadline expires (the
+            # duration-field fallback).  Leaving the shared NAV set
+            # models exactly that — contention resumes at the deadline.
+            self.stats.cf_ends_lost += 1
         self._active = False
         scheduler, self._scheduler = self._scheduler, None
         on_end, self._on_end = self._on_end, None

@@ -94,6 +94,17 @@ class RealTimeStation:
         self.state = RTState.EMPTY
         self.admitted = False
         self.eof = False  # the call has ended upstream
+        #: fault injection: radio out (crash or freeze) — the station
+        #: can neither hear polls nor transmit until fault_cleared()
+        self.radio_down = False
+        #: the AP evicted this session (missed-poll escalation); the
+        #: station must re-request admission before transmitting again
+        self.was_evicted = False
+        self._crashed = False
+        #: fault/recovery counters
+        self.faults_suffered = 0
+        self.recoveries = 0
+        self.crash_losses = 0
         #: optional "is the stream still active?" probe (e.g. the voice
         #: source's talk-spurt flag).  While it returns True the station
         #: answers empty-buffer polls with a CF-Null carrying PGBK=1,
@@ -113,10 +124,23 @@ class RealTimeStation:
         """Sink handed to the traffic source."""
         if self.eof:
             return
+        if self.radio_down and self._crashed:
+            # device is rebooting: arrivals are lost outright
+            self.crash_losses += 1
+            packet.expired = True
+            if self.on_packet_outcome is not None:
+                self.on_packet_outcome(packet, False)
+            return
         self.buffer.append(packet)
         self._last_arrival = packet.created
-        if self.admitted and self.state == RTState.EMPTY:
+        if self.radio_down or self.state != RTState.EMPTY:
+            # frozen radios cannot contend; queued packets age in place
+            return
+        if self.admitted:
             self._send_request(reactivation=True)
+        elif self.was_evicted:
+            # an evicted session must re-earn admission from scratch
+            self._send_request(reactivation=False)
 
     # -- request path ---------------------------------------------------------
     def request_priority(self, reactivation: bool) -> int:
@@ -169,6 +193,7 @@ class RealTimeStation:
     def grant(self) -> None:
         """The AP admitted (or re-activated polling for) this station."""
         self.admitted = True
+        self.was_evicted = False
         self.state = RTState.WAIT
 
     def deny(self) -> None:
@@ -178,6 +203,62 @@ class RealTimeStation:
     def end_call(self) -> None:
         """Upstream call termination; remaining buffer drains as EOF."""
         self.eof = True
+
+    def evicted(self) -> None:
+        """The AP dropped this session after consecutive missed polls.
+
+        The token buffer and admitted bandwidth are gone; the station
+        must contend for admission again before it is polled.
+        """
+        self.admitted = False
+        self.was_evicted = True
+        if self.state == RTState.WAIT:
+            self.state = RTState.EMPTY
+
+    # -- fault injection --------------------------------------------------
+    def fault(self, crash: bool = False) -> None:
+        """Take the radio down (idempotent while already down).
+
+        ``crash=True`` models a device reboot: everything queued is
+        lost and arrivals are discarded until recovery.  ``crash=False``
+        is a freeze (radio mute): the codec keeps producing and packets
+        queue — and age toward their deadlines — in place.
+        """
+        if self.radio_down:
+            self._crashed = self._crashed or crash
+            return
+        self.radio_down = True
+        self._crashed = crash
+        self.faults_suffered += 1
+        if crash:
+            while self.buffer:
+                pkt = self.buffer.popleft()
+                pkt.expired = True
+                self.crash_losses += 1
+                if self.on_packet_outcome is not None:
+                    self.on_packet_outcome(pkt, False)
+
+    def fault_cleared(self) -> None:
+        """Radio back up: rejoin the BSS (no-op if it was never down).
+
+        A station the AP still carries (it recovered before the missed-
+        poll eviction) re-arms its token pipeline with a reactivation
+        request; an evicted one contends for re-admission from scratch.
+        """
+        if not self.radio_down:
+            return
+        self.radio_down = False
+        self._crashed = False
+        self.recoveries += 1
+        self._purge_expired(self.sim.now)
+        if self.eof:
+            return
+        backlog = bool(self.buffer) or self._still_active()
+        if self.admitted:
+            if backlog:
+                self._send_request(reactivation=True)
+        elif self.was_evicted and backlog:
+            self._send_request(reactivation=False)
 
     # -- CFP poll response ---------------------------------------------------------
     def _purge_expired(self, now: float) -> None:

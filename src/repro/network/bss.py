@@ -25,6 +25,7 @@ from ..core.adaptive_cw import AdaptiveCW
 from ..core.bandwidth import AdaptiveBandwidthManager, BandwidthThresholds
 from ..core.priority_backoff import PriorityBackoff
 from ..core.qos_ap import QosAccessPoint, QosApConfig
+from ..faults.plan import FaultPlan
 from ..mac.backoff import StandardBEB
 from ..mac.dcf import DcfTransmitter
 from ..mac.nav import Nav
@@ -91,6 +92,12 @@ class ScenarioConfig:
     #: attach the runtime invariant monitors (repro.validate.invariants)
     #: and report ``invariant_violations`` in the results dict
     monitor_invariants: bool = False
+    #: fault-injection plan (repro.faults).  None (the default) keeps
+    #: the seed's idealized fault-free behavior bit-for-bit; attaching
+    #: any plan — even an empty one — also arms the hardened protocol
+    #: semantics (strict CF-End delivery with NAV-expiry fallback) and
+    #: adds a ``faults`` degradation sub-dict to the results
+    faults: FaultPlan | None = None
     #: priority partition of the contention window (paper Table I)
     alphas: tuple[int, ...] = (4, 4, 8)
     beta: int = 0
@@ -116,6 +123,9 @@ class ScenarioConfig:
         """
         d = dataclasses.asdict(self)
         d["alphas"] = list(self.alphas)
+        # asdict leaves the nested tuples; FaultPlan.to_dict emits the
+        # JSON-stable (list-based) form
+        d["faults"] = self.faults.to_dict() if self.faults is not None else None
         return d
 
     @classmethod
@@ -128,6 +138,8 @@ class ScenarioConfig:
             d["video"] = VideoParams(**d["video"])
         if "alphas" in d:
             d["alphas"] = tuple(d["alphas"])
+        if isinstance(d.get("faults"), typing.Mapping):
+            d["faults"] = FaultPlan.from_dict(d["faults"])
         return cls(**d)
 
     def offered_load_bps(self) -> float:
@@ -167,16 +179,34 @@ class BssScenario:
         self.sim = Simulator()
         self.timing = PhyTiming()
         self.streams = RandomStreams(config.seed)
-        self.channel = Channel(
-            self.sim, BitErrorModel(config.ber, self.streams.get("phy/errors"))
-        )
+        plan = config.faults
+        # Fault injectors draw from their own streams (faults/*) so a
+        # plan-free run sees exactly the seed's draw sequences.
+        error_model = BitErrorModel(config.ber, self.streams.get("phy/errors"))
+        if plan is not None and plan.gilbert_elliott is not None:
+            from ..faults.gilbert import GilbertElliottModel
+
+            error_model = GilbertElliottModel(
+                plan.gilbert_elliott, self.streams.get("faults/channel")
+            )
+        self.channel = Channel(self.sim, error_model)
+        self.frame_injector = None
+        if plan is not None and plan.frame_loss:
+            from ..faults.injector import FrameLossInjector
+
+            self.frame_injector = FrameLossInjector(
+                plan.frame_loss, self.streams.get("faults/frames")
+            )
+            self.channel.fault_injector = self.frame_injector
         self.invariants = None
         if config.monitor_invariants:
             # imported lazily: repro.validate rides the experiments
             # layer, which sits above this module
             from ..validate.invariants import InvariantSuite
 
-            self.invariants = InvariantSuite(self.sim)
+            # under injected faults, QoS budget breaches are expected
+            # degradation, reported separately — not invariant failures
+            self.invariants = InvariantSuite(self.sim, qos_gate=plan is None)
             self.invariants.attach_channel(self.channel)
         self.nav = (
             self.invariants.monitored_nav() if self.invariants else Nav()
@@ -185,8 +215,22 @@ class BssScenario:
 
         self._shared_policy = self._build_policy()
         self.ap = self._build_ap()
+        if plan is not None:
+            # hardened semantics: honor CF-End delivery, fall back to
+            # NAV expiry when it is lost (see mac/nav.py)
+            self.ap.coordinator.strict_cf_end = True
         if self.invariants is not None and hasattr(self.ap, "policy"):
             self.invariants.attach_ap(self.ap)
+        self.fault_driver = None
+        if plan is not None and plan.station_faults:
+            from ..faults.stations import StationFaultDriver
+
+            self.fault_driver = StationFaultDriver(
+                self.sim,
+                self.ap.stations,
+                plan.station_faults,
+                self.streams.get("faults/stations"),
+            )
         self.call_generator = CallGenerator(
             self.sim,
             self.ap,
@@ -336,6 +380,38 @@ class BssScenario:
     def _feedback(self) -> tuple[float, float, float]:
         return self.collector.adaptation_sample(self._window_utilization())
 
+    # -- fault telemetry ----------------------------------------------------
+    def _fault_summary(self) -> dict[str, typing.Any]:
+        """Degradation telemetry for a faulted run (results["faults"])."""
+        stats = self.ap.coordinator.stats
+        out: dict[str, typing.Any] = {
+            "poll_retries": stats.poll_retries,
+            "polls_lost": stats.polls_lost,
+            "ghost_polls": stats.ghost_polls,
+            "unreachable_nulls": stats.unreachable_nulls,
+            "cf_ends_lost": stats.cf_ends_lost,
+            "evictions": getattr(self.ap, "evictions", 0),
+            "readmissions": getattr(self.ap, "readmissions", 0),
+            "reclaimed_bandwidth": getattr(self.ap, "reclaimed_bandwidth", 0.0),
+        }
+        if self.fault_driver is not None:
+            out.update(
+                station_crashes=self.fault_driver.crashes,
+                station_freezes=self.fault_driver.freezes,
+                station_recoveries=self.fault_driver.recoveries,
+                station_faults_skipped=self.fault_driver.skipped,
+            )
+        if self.frame_injector is not None:
+            out["frames_injected"] = dict(self.frame_injector.injected)
+        model = self.channel.error_model
+        if hasattr(model, "frames_in_bad"):
+            out["channel_bad_fraction"] = model.frames_in_bad / max(
+                1, model.frames_seen
+            )
+        if self.invariants is not None:
+            out["qos_breaches"] = list(self.invariants.qos_breaches)
+        return out
+
     # -- execution ---------------------------------------------------------------------
     def run(self) -> dict[str, typing.Any]:
         """Run to ``sim_time`` and summarize everything the figures need."""
@@ -377,4 +453,7 @@ class BssScenario:
             results["invariant_violations"] = self.invariants.finalize(
                 self.collector, cfg.sim_time
             )
+        if cfg.faults is not None:
+            # after finalize, so the QoS-breach degradation is included
+            results["faults"] = self._fault_summary()
         return results

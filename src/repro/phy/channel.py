@@ -90,6 +90,11 @@ class Channel:
         #: cumulative busy airtime (for utilization accounting)
         self.busy_time: float = 0.0
         self._busy_started: float | None = None
+        #: optional :class:`repro.faults.injector.FrameLossInjector`
+        #: consulted (``corrupts(frame, now)``) for every frame that
+        #: survived collisions and the BER model — targeted fault
+        #: injection rides on top of the physical error processes
+        self.fault_injector = None
 
     # -- attachment ----------------------------------------------------------
     def attach(self, listener: ChannelListener) -> None:
@@ -162,6 +167,8 @@ class Channel:
         if not tx.collided:
             frame_bits = getattr(tx.frame, "total_bits", 0)
             bit_errors = not self.error_model.frame_survives(frame_bits)
+            if not bit_errors and self.fault_injector is not None:
+                bit_errors = self.fault_injector.corrupts(tx.frame, now)
         outcome = TxOutcome(frame=tx.frame, collided=tx.collided, bit_errors=bit_errors)
         if not self._active:
             self.idle_since = now

@@ -258,3 +258,95 @@ def test_invalid_multipoll_size():
 def test_response_for_unknown_station_ignored():
     tp = TokenPolicy(Simulator())
     tp.on_response("ghost", None, True, 0.0)  # must not raise
+
+
+# -- abnormal-null escalation (fault hardening) ---------------------------
+
+
+def test_invalid_evict_after_rejected():
+    with pytest.raises(ValueError):
+        TokenPolicy(Simulator(), evict_after=-1)
+
+
+def test_abnormal_nulls_escalate_to_eviction_at_threshold():
+    sim = Simulator()
+    tp = TokenPolicy(sim, evict_after=3)
+    evicted = []
+    tp.on_evict = evicted.append
+    tp.add_session(voice_session())
+    tp.on_response("v0", None, False, 0.0)
+    tp.on_response("v0", None, False, 0.02)
+    assert tp.get("v0").misses == 2 and evicted == []
+    tp.on_response("v0", None, False, 0.04)
+    assert evicted == ["v0"]
+
+
+def test_successful_exchange_resets_the_miss_count():
+    sim = Simulator()
+    tp = TokenPolicy(sim, evict_after=3)
+    tp.add_session(voice_session())
+    tp.on_response("v0", None, False, 0.0)
+    tp.on_response("v0", None, False, 0.02)
+    tp.on_response("v0", cf_data("v0", piggyback=True), True, 0.04)
+    assert tp.get("v0").misses == 0
+
+
+def test_legit_empty_buffer_null_is_not_a_miss():
+    sim = Simulator()
+    tp = TokenPolicy(sim, evict_after=1)
+    evicted = []
+    tp.on_evict = evicted.append
+    tp.add_session(voice_session())
+    tp.on_response("v0", None, True, 0.0)  # legit null: ok=True
+    assert tp.get("v0").misses == 0 and evicted == []
+
+
+def test_zero_evict_after_disables_eviction():
+    sim = Simulator()
+    tp = TokenPolicy(sim)  # default evict_after=0
+    evicted = []
+    tp.on_evict = evicted.append
+    tp.add_session(voice_session())
+    for i in range(20):
+        tp.on_response("v0", None, False, i * 0.02)
+    assert evicted == []
+    assert tp.get("v0").misses == 20
+
+
+def test_lost_voice_poll_probes_at_quarter_period():
+    sim = Simulator()
+    tp = TokenPolicy(sim, evict_after=6)
+    tp.add_session(voice_session(rate=50.0))
+    tp.next_action(0.0, 0.0)  # poll consumes the voice token
+    assert not tp.any_token()
+    tp.on_response("v0", None, False, 0.0)  # the poll never arrived
+    state = tp.get("v0")
+    assert state.regen_handle is not None
+    # without the probe the voice source would starve forever; a
+    # quarter period sits well inside the monitors' 2/r envelope
+    assert state.regen_handle.time == pytest.approx((1.0 / 50.0) / 4.0)
+    sim.run()
+    assert state.has_token  # pollable again
+
+
+def test_video_token_persists_across_a_miss():
+    sim = Simulator()
+    tp = TokenPolicy(sim, evict_after=6)
+    tp.add_session(video_session())
+    tp.next_action(0.0, 0.0)  # video tokens are not consumed at poll
+    tp.on_response("d0", None, False, 0.0)
+    state = tp.get("d0")
+    assert state.misses == 1
+    assert state.has_token  # the next scheduling step re-polls it
+    action = tp.next_action(0.001, 0.001)
+    assert action is not None and action.station_ids == ("d0",)
+
+
+def test_reactivation_grant_resets_the_miss_count():
+    sim = Simulator()
+    tp = TokenPolicy(sim, evict_after=6)
+    tp.add_session(voice_session())
+    tp.on_response("v0", None, False, 0.0)
+    tp.on_response("v0", None, False, 0.02)
+    assert tp.grant_token("v0")
+    assert tp.get("v0").misses == 0

@@ -1,0 +1,104 @@
+"""Gilbert–Elliott model: interface, burstiness, stationary behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.faults import GilbertElliottModel, GilbertElliottParams
+
+#: moderately lossy reference channel: pi_bad = 1/6, mean bad burst of 4
+PARAMS = GilbertElliottParams(
+    p_good_to_bad=0.05, p_bad_to_good=0.25, ber_good=0.0, ber_bad=5e-4
+)
+FRAME_BITS = 4096
+
+
+def make_model(seed=2024, params=PARAMS, **kwargs):
+    return GilbertElliottModel(params, np.random.default_rng(seed), **kwargs)
+
+
+class TestInterface:
+    def test_drop_in_surface_matches_bit_error_model(self):
+        # the Channel consumes exactly these two methods plus .ber
+        model = make_model()
+        assert model.success_probability(FRAME_BITS) == 1.0  # Good, BER 0
+        assert model.frame_survives(FRAME_BITS) in (True, False)
+        assert 0.0 <= model.ber < 1.0
+
+    def test_success_probability_tracks_the_current_state(self):
+        model = make_model()
+        model.bad = True
+        assert model.ber == PARAMS.ber_bad
+        assert model.success_probability(FRAME_BITS) == pytest.approx(
+            (1.0 - PARAMS.ber_bad) ** FRAME_BITS
+        )
+        model.bad = False
+        assert model.ber == PARAMS.ber_good
+        assert model.success_probability(FRAME_BITS) == 1.0
+
+    def test_negative_frame_size_rejected(self):
+        model = make_model()
+        with pytest.raises(ValueError):
+            model.success_probability(-1)
+        with pytest.raises(ValueError):
+            model.expected_loss_rate(-1)
+
+    def test_same_seed_same_sequence(self):
+        a, b = make_model(seed=5), make_model(seed=5)
+        outcomes_a = [a.frame_survives(FRAME_BITS) for _ in range(500)]
+        outcomes_b = [b.frame_survives(FRAME_BITS) for _ in range(500)]
+        assert outcomes_a == outcomes_b
+        assert a.bad == b.bad and a.frames_in_bad == b.frames_in_bad
+
+
+class TestLongRunProperties:
+    """The satellite property test: sampled behaviour must match the
+    stationary analysis within sampling noise (all seeds are fixed, so
+    these are deterministic)."""
+
+    N = 30_000
+
+    def test_sampled_loss_rate_matches_stationary_expectation(self):
+        model = make_model()
+        losses = sum(
+            0 if model.frame_survives(FRAME_BITS) else 1 for _ in range(self.N)
+        )
+        expected = model.expected_loss_rate(FRAME_BITS)
+        # pi_bad * loss_bad with these params: ~0.145; burst-correlated
+        # samples widen the CI, so allow a generous 2e-2 absolute band
+        assert losses / self.N == pytest.approx(expected, abs=2e-2)
+        assert expected == pytest.approx(
+            PARAMS.stationary_bad * (1.0 - (1.0 - PARAMS.ber_bad) ** FRAME_BITS),
+            rel=1e-12,
+        )
+
+    def test_sampled_bad_occupancy_matches_stationary_distribution(self):
+        model = make_model(seed=7)
+        for _ in range(self.N):
+            model.frame_survives(FRAME_BITS)
+        assert model.frames_seen == self.N
+        occupancy = model.frames_in_bad / model.frames_seen
+        assert occupancy == pytest.approx(PARAMS.stationary_bad, abs=2e-2)
+
+    def test_losses_arrive_in_bursts_of_the_predicted_length(self):
+        # mean Bad-run length in the per-frame state chain is geometric
+        # with mean 1/p_bad_to_good = 4 frames — the whole point of the
+        # model vs the seed's i.i.d. corruption
+        model = make_model(seed=11)
+        runs, current = [], 0
+        for _ in range(self.N):
+            model.frame_survives(FRAME_BITS)
+            if model.bad:
+                current += 1
+            elif current:
+                runs.append(current)
+                current = 0
+        assert len(runs) > 100  # plenty of bursts to average over
+        mean_burst = sum(runs) / len(runs)
+        assert mean_burst == pytest.approx(1.0 / PARAMS.p_bad_to_good, rel=0.15)
+
+    def test_start_bad_converges_to_the_same_stationary_rate(self):
+        model = make_model(seed=13, start_bad=True)
+        for _ in range(self.N):
+            model.frame_survives(FRAME_BITS)
+        occupancy = model.frames_in_bad / model.frames_seen
+        assert occupancy == pytest.approx(PARAMS.stationary_bad, abs=2e-2)

@@ -1,0 +1,135 @@
+"""Station fault driver: scheduling, targeting, recovery semantics."""
+
+import numpy as np
+
+from repro.faults import StationFault, StationFaultDriver
+from repro.sim import Simulator
+from repro.traffic import TrafficKind
+
+
+class StubStation:
+    """Records fault()/fault_cleared() calls; mimics the driver-facing
+    surface of RealTimeStation."""
+
+    def __init__(self, sid, kind=TrafficKind.VOICE, admitted=True):
+        self.station_id = sid
+        self.kind = kind
+        self.admitted = admitted
+        self.radio_down = False
+        self.eof = False
+        self.events = []
+
+    def fault(self, crash=False):
+        self.radio_down = True
+        self.events.append(("fault", "crash" if crash else "freeze"))
+
+    def fault_cleared(self):
+        self.radio_down = False
+        self.events.append(("cleared",))
+
+
+def make_bss(*stations):
+    sim = Simulator()
+    registry = {st.station_id: st for st in stations}
+    return sim, registry
+
+
+def make_driver(sim, registry, faults, seed=0):
+    return StationFaultDriver(sim, registry, faults, np.random.default_rng(seed))
+
+
+def test_fault_fires_at_its_scheduled_time():
+    sim, registry = make_bss(StubStation("v0"))
+    driver = make_driver(sim, registry, [StationFault(at=2.0, mode="crash")])
+    sim.run()
+    assert driver.applied == [(2.0, "v0", "crash")]
+    assert driver.crashes == 1 and driver.freezes == 0
+    assert registry["v0"].events == [("fault", "crash")]
+    assert registry["v0"].radio_down
+
+
+def test_kind_filter_only_hits_matching_stations():
+    sim, registry = make_bss(
+        StubStation("d0", kind=TrafficKind.VIDEO),
+        StubStation("v0", kind=TrafficKind.VOICE),
+    )
+    driver = make_driver(
+        sim, registry, [StationFault(at=1.0, kind="video", mode="freeze")]
+    )
+    sim.run()
+    assert driver.applied == [(1.0, "d0", "freeze")]
+    assert not registry["v0"].radio_down
+
+
+def test_fault_with_no_eligible_victim_is_skipped():
+    down = StubStation("v0")
+    down.radio_down = True
+    unadmitted = StubStation("v1", admitted=False)
+    ended = StubStation("v2")
+    ended.eof = True
+    sim, registry = make_bss(down, unadmitted, ended)
+    driver = make_driver(sim, registry, [StationFault(at=1.0)])
+    sim.run()
+    assert driver.skipped == 1
+    assert driver.applied == []
+
+
+def test_bounded_fault_recovers_after_its_duration():
+    sim, registry = make_bss(StubStation("v0"))
+    driver = make_driver(
+        sim, registry, [StationFault(at=1.0, mode="freeze", duration=2.0)]
+    )
+    sim.run()
+    assert driver.freezes == 1 and driver.recoveries == 1
+    assert registry["v0"].events == [("fault", "freeze"), ("cleared",)]
+    assert not registry["v0"].radio_down
+
+
+def test_unbounded_fault_never_recovers():
+    sim, registry = make_bss(StubStation("v0"))
+    driver = make_driver(
+        sim, registry, [StationFault(at=1.0, mode="crash", duration=None)]
+    )
+    sim.run()
+    assert driver.recoveries == 0
+    assert registry["v0"].radio_down
+
+
+def test_departed_station_is_not_recovered():
+    sim, registry = make_bss(StubStation("v0"))
+    driver = make_driver(
+        sim, registry, [StationFault(at=1.0, duration=2.0)]
+    )
+    victim = registry["v0"]
+    sim.call_at(2.0, lambda: registry.pop("v0"))  # call tears down mid-fault
+    sim.run()
+    assert driver.recoveries == 0
+    assert victim.events == [("fault", "freeze")]
+
+
+def test_ended_call_is_not_recovered():
+    sim, registry = make_bss(StubStation("v0"))
+    driver = make_driver(
+        sim, registry, [StationFault(at=1.0, duration=2.0)]
+    )
+
+    def end_call():
+        registry["v0"].eof = True
+
+    sim.call_at(2.0, end_call)
+    sim.run()
+    assert driver.recoveries == 0
+
+
+def test_victim_choice_is_seed_deterministic():
+    faults = [StationFault(at=1.0), StationFault(at=2.0), StationFault(at=3.0)]
+
+    def run_once():
+        sim, registry = make_bss(
+            StubStation("v0"), StubStation("v1"), StubStation("v2")
+        )
+        driver = make_driver(sim, registry, faults, seed=17)
+        sim.run()
+        return driver.applied
+
+    assert run_once() == run_once()

@@ -152,12 +152,32 @@ def test_budget_ends_cfp_early(world):
     assert sched.responses >= 1
 
 
-def test_poll_unregistered_station_raises(world):
+def test_poll_unregistered_station_degrades_to_abnormal_null(world):
+    # a scheduler naming a departed station must not crash the sim:
+    # the coordinator reports an abnormal null (ok=False) and moves on
     coord = make_coord(world)
     sched = ScriptedScheduler([PollAction(("ghost",))])
     coord.start_cfp(sched, 0.05, lambda: None)
-    with pytest.raises(KeyError):
-        world.sim.run()
+    world.sim.run()
+    assert coord.stats.ghost_polls == 1
+    assert coord.stats.polls_sent == 0
+    assert sched.responses == [("ghost", None, False, sched.responses[0][3])]
+
+
+def test_ghost_station_filtered_out_of_multipoll(world):
+    coord = make_coord(world)
+    sta = EchoStation("s1")
+    coord.register("s1", sta)
+    sched = ScriptedScheduler([PollAction(("ghost", "s1"))])
+    coord.start_cfp(sched, 0.05, lambda: None)
+    world.sim.run()
+    assert coord.stats.ghost_polls == 1
+    # the survivor was still polled (as a single poll, not a multipoll)
+    assert coord.stats.polls_sent == 1
+    assert coord.stats.multipolls_sent == 0
+    by_sid = {r[0]: r for r in sched.responses}
+    assert by_sid["ghost"][1] is None and by_sid["ghost"][2] is False
+    assert by_sid["s1"][1] is not None
 
 
 def test_overlapping_cfp_rejected(world):
