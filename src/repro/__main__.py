@@ -10,6 +10,11 @@ validate          run a validation tier; exit nonzero on failed claims
 chaos             run a fault-injection soak tier; emit a degradation
                   report (structural invariants gate every mix, QoS
                   budgets gate the no-injection baseline mix)
+trace             run one scenario with tracing + profiling on; write
+                  the JSONL event trace and metrics snapshots, print a
+                  CFP/CP timeline and the engine profile
+
+Run with no command to see this help.
 
 Exit codes: 0 success; 1 failed validation claims / chaos gates;
 2 sweep points permanently failed after retries.
@@ -144,7 +149,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         "  sweep: {total_points} points, {executed} simulated, "
         "{cache_hits} cached, {resumed} resumed in {wall_time:.1f}s "
         "(workers={workers}, utilization={worker_utilization:.0%}, "
-        "{sim_events} sim events)".format(**summary),
+        "{sim_events} sim events, {events_per_sec:,.0f} events/s)".format(
+            **summary
+        ),
         file=sys.stderr,
     )
     if args.out:
@@ -158,6 +165,77 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         cols = ["scheme", "load"] + FIGURE_METRICS[name]
         print()
         print(format_table(table, cols, title=name))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from .network import BssScenario, ScenarioConfig
+    from .obs import (
+        EngineProfiler,
+        TraceConfig,
+        render_category_counts,
+        render_profile,
+        render_timeline,
+        validate_trace_file,
+    )
+
+    cfg = ScenarioConfig(
+        scheme=args.scheme,
+        seed=args.seed,
+        sim_time=args.time,
+        warmup=min(5.0, args.time / 6),
+        load=args.load,
+        new_voice_rate=0.3,
+        new_video_rate=0.2,
+        handoff_voice_rate=0.15,
+        handoff_video_rate=0.1,
+        mean_holding=20.0,
+        trace=TraceConfig(
+            categories=tuple(args.categories),
+            capacity=args.capacity,
+            snapshot_interval=args.snapshot_interval,
+        ),
+    )
+    scenario = BssScenario(cfg)
+    profiler = EngineProfiler()
+    # wall-clock profiling never feeds results, so attaching it cannot
+    # perturb the traced point's identity
+    scenario.sim.profiler = profiler
+    results = scenario.run()
+
+    os.makedirs(args.out_dir, exist_ok=True)
+    trace_path = os.path.join(args.out_dir, "trace.jsonl")
+    assert scenario.trace is not None
+    lines = scenario.trace.export_jsonl(trace_path)
+    validated = validate_trace_file(trace_path)
+    assert validated == lines
+    metrics_path = os.path.join(args.out_dir, "metrics.json")
+    with open(metrics_path, "w", encoding="utf-8") as fh:
+        json.dump(
+            {
+                "final": scenario.metrics.snapshot(now=cfg.sim_time),
+                "periodic": scenario.metrics.snapshots,
+            },
+            fh,
+            indent=2,
+            sort_keys=True,
+        )
+
+    print(f"trace written to {trace_path} ({lines} events, schema ok)")
+    print(f"metrics written to {metrics_path} "
+          f"({len(scenario.metrics.snapshots)} periodic snapshots)")
+    print()
+    print(render_category_counts(scenario.trace))
+    print()
+    print(render_timeline(scenario.trace))
+    print()
+    print(render_profile(profiler))
+    print()
+    for key in ("scheme", "load", "seed", "events_processed", "obs"):
+        print(f"{key}: {results[key]}")
     return 0
 
 
@@ -221,7 +299,7 @@ def main(argv: list[str] | None = None) -> int:
         prog="python -m repro",
         description="802.11 QoS provisioning reproduction",
     )
-    sub = parser.add_subparsers(dest="command", required=True)
+    sub = parser.add_subparsers(dest="command", required=False)
 
     sub.add_parser("tables", help="print Tables I and II")
 
@@ -306,7 +384,32 @@ def main(argv: list[str] | None = None) -> int:
                        help="degradation report path (default: "
                             ".repro-cache/chaos-<tier>-report.json)")
 
+    from .obs import CATEGORIES
+
+    trace = sub.add_parser(
+        "trace",
+        help="run one traced scenario; write JSONL trace + metrics, "
+             "print timeline and profile",
+    )
+    trace.add_argument("--scheme", default="proposed",
+                       choices=["proposed", "proposed-multipoll", "conventional"])
+    trace.add_argument("--load", type=float, default=1.0)
+    trace.add_argument("--seed", type=int, default=1)
+    trace.add_argument("--time", type=float, default=10.0)
+    trace.add_argument("--categories", nargs="+", default=list(CATEGORIES),
+                       choices=list(CATEGORIES),
+                       help="event categories to record (default: all)")
+    trace.add_argument("--capacity", type=int, default=65536,
+                       help="trace ring-buffer size in events (0 = unbounded)")
+    trace.add_argument("--snapshot-interval", type=float, default=1.0,
+                       help="metrics snapshot period in sim seconds (0 = off)")
+    trace.add_argument("--out-dir", default=".repro-cache/trace",
+                       help="directory for trace.jsonl and metrics.json")
+
     args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 0
     handlers = {
         "tables": _cmd_tables,
         "quick": _cmd_quick,
@@ -314,6 +417,7 @@ def main(argv: list[str] | None = None) -> int:
         "sweep": _cmd_sweep,
         "validate": _cmd_validate,
         "chaos": _cmd_chaos,
+        "trace": _cmd_trace,
     }
     return handlers[args.command](args)
 

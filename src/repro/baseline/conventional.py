@@ -25,6 +25,7 @@ import typing
 from ..mac.frames import Frame, FrameType
 from ..mac.pcf import PcfCoordinator, PollAction
 from ..mac.station import RealTimeStation
+from ..obs.registry import MetricsRegistry
 from ..phy.channel import Channel, ChannelListener
 from ..phy.timing import PhyTiming
 from ..sim.engine import Simulator
@@ -71,13 +72,17 @@ class ConventionalAccessPoint(ChannelListener):
         nav,
         config: ConventionalApConfig | None = None,
         ap_id: str = "ap",
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.sim = sim
         self.channel = channel
         self.timing = timing
         self.ap_id = ap_id
         self.config = config or ConventionalApConfig()
-        self.coordinator = PcfCoordinator(sim, channel, timing, nav, ap_id)
+        self.metrics = metrics or MetricsRegistry()
+        self.coordinator = PcfCoordinator(
+            sim, channel, timing, nav, ap_id, metrics=self.metrics
+        )
         self.packet_time = core.rt_exchange_time(timing, self.config.rt_packet_bits)
         #: fraction of the superframe the CFP may occupy
         self.cfp_share = self.config.cfp_max / self.config.superframe

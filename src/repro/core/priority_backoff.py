@@ -105,6 +105,9 @@ class PriorityBackoff(BackoffPolicy):
         offset, width = self.window(level, stage)
         return offset + int(rng.integers(0, width))
 
+    def draw_window(self, level: int, stage: int) -> tuple[int, int]:
+        return self.window(level, stage)
+
     def set_scale(self, scale: float) -> None:
         """Adaptive-CW hook: rescale every level's window."""
         if scale <= 0:

@@ -24,6 +24,7 @@ import typing
 from ..mac.frames import Frame, FrameType
 from ..mac.pcf import PcfCoordinator, PollAction
 from ..mac.station import RealTimeStation
+from ..obs.registry import MetricsRegistry, counter_property
 from ..phy.channel import Channel, ChannelListener
 from ..phy.timing import PhyTiming
 from ..sim.engine import Simulator, TimerHandle
@@ -84,6 +85,19 @@ class QosApConfig:
             raise ValueError("evict_after_nulls must be >= 0")
 
 
+#: the AP's registry-backed decision counters (``ap_<name>`` metrics)
+_AP_COUNTERS = (
+    "admitted_new",
+    "admitted_handoff",
+    "blocked_new",
+    "rejected_handoff",
+    "reactivations",
+    "evictions",
+    "readmissions",
+    "reclaimed_bandwidth",  # admitted airtime fraction returned by evictions
+)
+
+
 class QosAccessPoint(ChannelListener):
     """The paper's QoS provisioning system, running at the AP.
 
@@ -112,6 +126,7 @@ class QosAccessPoint(ChannelListener):
         bandwidth: AdaptiveBandwidthManager | None = None,
         feedback: typing.Callable[[], tuple[float, float, float]] | None = None,
         ap_id: str = "ap",
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.sim = sim
         self.channel = channel
@@ -120,6 +135,10 @@ class QosAccessPoint(ChannelListener):
         self.config = config or QosApConfig()
         self.bandwidth = bandwidth or AdaptiveBandwidthManager()
         self.feedback = feedback
+        #: the scenario-wide metrics registry (one is created when the
+        #: AP is built standalone); the token policy and coordinator
+        #: register their instruments in the same registry
+        self.metrics = metrics or MetricsRegistry()
         self.admission = AdmissionController(
             timing, self.config.rt_packet_bits, self.bandwidth
         )
@@ -130,16 +149,20 @@ class QosAccessPoint(ChannelListener):
             voice_order=self.config.voice_order,
             drain_interval=self.admission.packet_time,
             evict_after=self.config.evict_after_nulls,
+            metrics=self.metrics,
         )
         self.policy.on_token = self._maybe_start_cfp
         self.policy.on_evict = self._evict_station
         self.coordinator = PcfCoordinator(
             sim, channel, timing, nav, ap_id,
             txop_packets=self.config.txop_packets,
+            metrics=self.metrics,
         )
         self.stations: dict[str, RealTimeStation] = {}
         #: optional :class:`repro.validate.invariants.InvariantSuite`
         self.monitor = None
+        #: optional :class:`repro.obs.trace.TraceRecorder` (``admission``)
+        self.trace = None
 
         self._earliest_next_cfp = 0.0
         self._cfp_started_at = 0.0
@@ -147,17 +170,13 @@ class QosAccessPoint(ChannelListener):
         self._used_new = 0.0
         self._used_handoff = 0.0
 
-        #: counters for tests/metrics
-        self.admitted_new = 0
-        self.admitted_handoff = 0
-        self.blocked_new = 0
-        self.rejected_handoff = 0
-        self.reactivations = 0
-        self.evictions = 0
-        self.readmissions = 0
-        #: admitted airtime demand (fraction of the channel) returned
-        #: to the admission pool by evictions
-        self.reclaimed_bandwidth = 0.0
+        #: registry-backed decision counters; the ``ap.<name>``
+        #: attributes (``admitted_new`` etc.) read and write these via
+        #: :func:`repro.obs.registry.counter_property`, so existing
+        #: call sites and tests are unchanged
+        self._counters = {
+            name: self.metrics.counter(f"ap_{name}") for name in _AP_COUNTERS
+        }
         self._evicted_ids: set[str] = set()
 
         channel.attach(self)
@@ -203,6 +222,10 @@ class QosAccessPoint(ChannelListener):
             station.evicted()
         self.evictions += 1
         self._evicted_ids.add(station_id)
+        if self.trace is not None:
+            self.trace.emit(
+                self.sim.now, "admission", "evict", station=station_id
+            )
         if self.monitor is not None:
             self.monitor.session_evicted(station_id, self.sim.now)
 
@@ -220,6 +243,8 @@ class QosAccessPoint(ChannelListener):
             return
         if info.get("reactivation"):
             self.reactivations += 1
+            if self.trace is not None:
+                self.trace.emit(now, "admission", "reactivation", station=sid)
             if self.policy.grant_token(sid) and station is not None:
                 station.grant()
             return
@@ -241,6 +266,10 @@ class QosAccessPoint(ChannelListener):
                 self.rejected_handoff += 1
             else:
                 self.blocked_new += 1
+            if self.trace is not None:
+                self.trace.emit(
+                    now, "admission", "reject", station=sid, handoff=handoff
+                )
             if station is not None:
                 station.deny()
             return
@@ -248,10 +277,17 @@ class QosAccessPoint(ChannelListener):
             self.admitted_handoff += 1
         else:
             self.admitted_new += 1
-        if sid in self._evicted_ids:
+        readmitted = sid in self._evicted_ids
+        if readmitted:
             # a previously evicted session earned its way back in
             self.readmissions += 1
             self._evicted_ids.discard(sid)
+        if self.trace is not None:
+            self.trace.emit(
+                now, "admission", "accept", station=sid, handoff=handoff,
+                kind=("voice" if session.is_voice else "video"),
+                readmission=readmitted,
+            )
         self.policy.add_session(session)
         if self.monitor is not None:
             self.monitor.session_admitted(session)
@@ -356,3 +392,8 @@ class QosAccessPoint(ChannelListener):
         drop, block, util = self.feedback()
         self.bandwidth.update(drop, block, util)
         self.sim.call_in(self.config.adaptation_interval, self._adapt)
+
+
+for _field in _AP_COUNTERS:
+    setattr(QosAccessPoint, _field, counter_property(_field))
+del _field

@@ -26,6 +26,7 @@ import typing
 
 from ..mac.frames import Frame
 from ..mac.pcf import PollAction
+from ..obs.registry import MetricsRegistry
 from ..sim.engine import Simulator, TimerHandle
 from .admission import Session
 
@@ -96,6 +97,7 @@ class TokenPolicy:
         voice_order: str = "ascending",
         drain_interval: float = 0.0,
         evict_after: int = 0,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if multipoll_size < 1:
             raise ValueError(f"multipoll_size must be >= 1, got {multipoll_size}")
@@ -132,6 +134,15 @@ class TokenPolicy:
         self.on_evict: typing.Callable[[str], None] | None = None
         #: optional :class:`repro.validate.invariants.InvariantSuite`
         self.monitor = None
+        #: optional :class:`repro.obs.trace.TraceRecorder` (``token``)
+        self.trace = None
+        # policy-level aggregates, registry-backed (the per-station
+        #: TokenState slots stay plain — they are the per-poll hot path)
+        m = metrics or MetricsRegistry()
+        self.metrics = m
+        self._m_tokens = m.counter("token_generated")
+        self._m_misses = m.counter("token_misses")
+        self._m_evictions = m.counter("token_evictions")
 
     # -- membership ---------------------------------------------------------
     def add_session(self, session: Session) -> TokenState:
@@ -163,6 +174,13 @@ class TokenPolicy:
             )
             self.video.insert(pos, state)
         self._by_station[session.station_id] = state
+        self._m_tokens.inc()  # the freshly admitted source's first token
+        if self.trace is not None:
+            self.trace.emit(
+                self.sim.now, "token", "buffer_added",
+                station=session.station_id,
+                kind="voice" if session.is_voice else "video",
+            )
         self._notify()
         return state
 
@@ -204,6 +222,11 @@ class TokenPolicy:
             state.has_token = True
             state.tokens_generated += 1
             state.last_token_time = self.sim.now
+            self._m_tokens.inc()
+            if self.trace is not None:
+                self.trace.emit(
+                    self.sim.now, "token", "grant", station=state.station_id
+                )
             self._notify()
 
     def grant_token(self, station_id: str) -> bool:
@@ -217,6 +240,12 @@ class TokenPolicy:
             state.has_token = True
             state.tokens_generated += 1
             state.last_token_time = self.sim.now
+            self._m_tokens.inc()
+            if self.trace is not None:
+                self.trace.emit(
+                    self.sim.now, "token", "grant",
+                    station=station_id, reactivation=True,
+                )
             self._notify()
         return True
 
@@ -253,6 +282,10 @@ class TokenPolicy:
                 # voice tokens are consumed at poll time (paper step 1)
                 state.has_token = False
                 state.polls += 1
+                if self.trace is not None:
+                    self.trace.emit(
+                        now, "token", "consume", station=state.station_id
+                    )
                 batch.append(state.station_id)
         if len(batch) < self.multipoll_size:
             for state in self.video:
@@ -346,7 +379,18 @@ class TokenPolicy:
         scheduling step re-polls it without any extra timer.
         """
         state.misses += 1
+        self._m_misses.inc()
+        if self.trace is not None:
+            self.trace.emit(
+                now, "token", "miss",
+                station=state.station_id, misses=state.misses,
+            )
         if self.evict_after > 0 and state.misses >= self.evict_after:
+            self._m_evictions.inc()
+            if self.trace is not None:
+                self.trace.emit(
+                    now, "token", "escalate", station=state.station_id
+                )
             if self.on_evict is not None:
                 self.on_evict(state.station_id)
             return

@@ -26,8 +26,10 @@ __all__ = ["KEY_FORMAT", "jsonable", "canonical_json", "normalize_row", "config_
 #: bump to invalidate every existing cache entry and journal row
 #: (2: ScenarioConfig grew monitor_invariants, changing to_dict();
 #:  3: ScenarioConfig grew the faults FaultPlan field and faulted rows
-#:  carry a degradation sub-dict)
-KEY_FORMAT = 3
+#:  carry a degradation sub-dict;
+#:  4: ScenarioConfig grew the trace TraceConfig field and traced rows
+#:  carry an obs sub-dict)
+KEY_FORMAT = 4
 
 
 def jsonable(value: typing.Any) -> typing.Any:

@@ -84,6 +84,10 @@ class RunTelemetry:
             "point_wall_mean": busy / len(executed) if executed else 0.0,
             "point_wall_max": max((r.wall_time for r in executed), default=0.0),
             "sim_events": sum(r.sim_events for r in executed),
+            # aggregate simulation throughput over busy worker time
+            "events_per_sec": (
+                sum(r.sim_events for r in executed) / busy if busy > 0 else 0.0
+            ),
             "worker_utilization": (
                 busy / (self.workers * elapsed) if elapsed > 0 else 0.0
             ),

@@ -38,6 +38,8 @@ class FrameLossInjector:
         self.injected: dict[str, int] = {}
         #: frames inspected (any rule matched its type, active or not)
         self.considered = 0
+        #: optional :class:`repro.obs.trace.TraceRecorder` (``fault``)
+        self.trace = None
 
     def corrupts(self, frame: typing.Any, now: float) -> bool:
         """Should ``frame`` (which survived BER/collision) be corrupted?"""
@@ -53,6 +55,12 @@ class FrameLossInjector:
             if rule.probability > 0.0 and self._rng.random() < rule.probability:
                 self.injected[value] = self.injected.get(value, 0) + 1
                 self.considered += 1
+                if self.trace is not None:
+                    self.trace.emit(
+                        now, "fault", "frame_loss", ftype=value,
+                        src=getattr(frame, "src", None),
+                        dest=getattr(frame, "dest", None),
+                    )
                 return True
         if matched:
             self.considered += 1

@@ -67,6 +67,8 @@ class StationFaultDriver:
         self.recoveries = 0
         #: faults that found no eligible victim when they fired
         self.skipped = 0
+        #: optional :class:`repro.obs.trace.TraceRecorder` (``fault``)
+        self.trace = None
         for fault in faults:
             sim.call_at(fault.at, self._fire, fault)
 
@@ -87,6 +89,11 @@ class StationFaultDriver:
         candidates = self._candidates(fault.kind)
         if not candidates:
             self.skipped += 1
+            if self.trace is not None:
+                self.trace.emit(
+                    self.sim.now, "fault", "skip",
+                    mode=fault.mode, kind=fault.kind,
+                )
             return
         victim = candidates[int(self._rng.integers(len(candidates)))]
         crash = fault.mode == "crash"
@@ -96,6 +103,12 @@ class StationFaultDriver:
         else:
             self.freezes += 1
         self.applied.append((self.sim.now, victim.station_id, fault.mode))
+        if self.trace is not None:
+            self.trace.emit(
+                self.sim.now, "fault", fault.mode,
+                station=victim.station_id,
+                duration=fault.duration,
+            )
         if fault.duration is not None:
             self.sim.call_in(fault.duration, self._recover, victim)
 
@@ -105,3 +118,7 @@ class StationFaultDriver:
             return
         station.fault_cleared()
         self.recoveries += 1
+        if self.trace is not None:
+            self.trace.emit(
+                self.sim.now, "fault", "recovery", station=station.station_id
+            )

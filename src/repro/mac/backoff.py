@@ -53,6 +53,13 @@ class BackoffPolicy:
         """Stage at which the window stops growing (standard ``m``)."""
         return 5
 
+    def draw_window(self, level: int, stage: int) -> tuple[int, int]:
+        """``(offset, width)`` of the slot range :meth:`draw_slots`
+        samples for ``level`` at ``stage`` — the priority window the
+        trace records alongside each draw.  ``(0, 0)`` means the
+        policy does not expose its window geometry."""
+        return (0, 0)
+
     def extra_ifs(self, level: int) -> float:
         """Additional interframe space (seconds) before level ``level``
         may begin counting slots — the AIFS knob of 802.11e-style
@@ -108,3 +115,6 @@ class StandardBEB(BackoffPolicy):
 
     def draw_slots(self, level: int, stage: int, rng: np.random.Generator) -> int:
         return int(rng.integers(0, self.window(stage)))
+
+    def draw_window(self, level: int, stage: int) -> tuple[int, int]:
+        return (0, self.window(stage))

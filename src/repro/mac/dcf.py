@@ -117,6 +117,8 @@ class DcfTransmitter(ChannelListener):
         self._timer: TimerHandle | None = None
         self._nav_timer: TimerHandle | None = None
         self._in_exchange = False
+        #: optional :class:`repro.obs.trace.TraceRecorder` (``backoff``)
+        self.trace = None
 
         channel.attach(self)
 
@@ -178,12 +180,24 @@ class DcfTransmitter(ChannelListener):
 
     def _draw_backoff(self) -> None:
         assert self._head is not None
+        stage = min(self._stage, self.policy.max_stage())
         self._slots_left = self.policy.draw_slots(
-            self._head.level, min(self._stage, self.policy.max_stage()), self.rng
+            self._head.level, stage, self.rng
         )
         # the draw's absolute position inside the (possibly partitioned)
         # window, for positional channel observations
         self._draw_value = self._slots_left
+        if self.trace is not None:
+            offset, width = self.policy.draw_window(self._head.level, stage)
+            self.trace.emit(
+                self.sim.now, "backoff", "draw",
+                station=self.station_id,
+                level=self._head.level,
+                stage=self._stage,
+                slots=self._slots_left,
+                window_offset=offset,
+                window_width=width,
+            )
 
     def _arm(self) -> None:
         """Schedule the backoff-completion timer if conditions allow."""

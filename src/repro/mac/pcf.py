@@ -19,6 +19,7 @@ from __future__ import annotations
 import dataclasses
 import typing
 
+from ..obs.registry import MetricsRegistry, counter_property
 from ..phy.channel import Channel, ChannelListener
 from ..phy.timing import PhyTiming
 from ..sim.engine import Simulator, TimerHandle
@@ -58,26 +59,49 @@ class PollAction:
             raise ValueError("PollAction needs at least one station")
 
 
-@dataclasses.dataclass
-class CfpStats:
-    """Aggregate CFP accounting."""
+#: every CfpStats field, in declaration order (all start at zero)
+_CFP_STAT_FIELDS = (
+    "cfps_started",
+    "polls_sent",
+    "multipolls_sent",
+    "responses",
+    "null_responses",
+    "cfp_time",
+    "poll_retries",      # poll frames retransmitted after a corrupted copy
+    "polls_lost",        # polls abandoned after exhausting the retry budget
+    "ghost_polls",       # scheduling steps naming an already-departed station
+    "unreachable_nulls", # polled stations whose radio was down (faults)
+    "cf_ends_lost",      # CF-End frames corrupted on the air (strict mode)
+)
 
-    cfps_started: int = 0
-    polls_sent: int = 0
-    multipolls_sent: int = 0
-    responses: int = 0
-    null_responses: int = 0
-    cfp_time: float = 0.0
-    #: poll frames retransmitted after a corrupted first copy
-    poll_retries: int = 0
-    #: polls abandoned after exhausting the retry budget
-    polls_lost: int = 0
-    #: scheduling steps that named an already-departed station
-    ghost_polls: int = 0
-    #: polled stations whose radio was down (fault injection)
-    unreachable_nulls: int = 0
-    #: CF-End frames corrupted on the air (strict mode only)
-    cf_ends_lost: int = 0
+
+class CfpStats:
+    """Aggregate CFP accounting, backed by a metrics registry.
+
+    Field access is unchanged from the original dataclass
+    (``stats.polls_sent += 1`` works), but every field is now a
+    ``cfp_<name>`` counter in the supplied
+    :class:`~repro.obs.registry.MetricsRegistry` — one standalone
+    registry per instance when none is shared in.
+    """
+
+    def __init__(self, metrics: MetricsRegistry | None = None) -> None:
+        self.metrics = metrics or MetricsRegistry()
+        self._counters = {
+            name: self.metrics.counter(f"cfp_{name}")
+            for name in _CFP_STAT_FIELDS
+        }
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{name}={self._counters[name].value}" for name in _CFP_STAT_FIELDS
+        )
+        return f"CfpStats({inner})"
+
+
+for _field in _CFP_STAT_FIELDS:
+    setattr(CfpStats, _field, counter_property(_field))
+del _field
 
 
 class PcfCoordinator(ChannelListener):
@@ -96,6 +120,7 @@ class PcfCoordinator(ChannelListener):
         nav: Nav,
         ap_id: str,
         txop_packets: int = 1,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if txop_packets < 1:
             raise ValueError(f"txop_packets must be >= 1, got {txop_packets}")
@@ -120,8 +145,10 @@ class PcfCoordinator(ChannelListener):
         #: regression rows depend on that; attaching a FaultPlan to a
         #: scenario switches this on (see network/bss.py).
         self.strict_cf_end = False
-        self.stats = CfpStats()
+        self.stats = CfpStats(metrics)
         self.stations: dict[str, CfPollable] = {}
+        #: optional :class:`repro.obs.trace.TraceRecorder` (``cfp``)
+        self.trace = None
 
         self._active = False
         self._seizing = False
@@ -190,6 +217,11 @@ class PcfCoordinator(ChannelListener):
         self._cfp_start = self.sim.now
         self._deadline = self._cfp_start + self._deadline_duration
         self.stats.cfps_started += 1
+        if self.trace is not None:
+            self.trace.emit(
+                self._cfp_start, "cfp", "start",
+                max_duration=self._deadline_duration,
+            )
         beacon = Frame(
             FrameType.BEACON,
             src=self.ap_id,
@@ -230,10 +262,14 @@ class PcfCoordinator(ChannelListener):
                 ids.append(sid)
             else:
                 self.stats.ghost_polls += 1
+                if self.trace is not None:
+                    self.trace.emit(now, "cfp", "ghost", station=sid)
                 self._scheduler.on_response(sid, None, False, now)
         if not ids:
             self._schedule_step(0.0)
             return
+        if self.trace is not None:
+            self.trace.emit(now, "cfp", "poll", stations=list(ids))
         if len(ids) == 1:
             self.stats.polls_sent += 1
             frame = Frame(FrameType.CF_POLL, src=self.ap_id, dest=ids[0])
@@ -271,12 +307,19 @@ class PcfCoordinator(ChannelListener):
             return
         if retries_left > 0:
             self.stats.poll_retries += 1
+            if self.trace is not None:
+                self.trace.emit(
+                    self.sim.now, "cfp", "repoll",
+                    stations=list(ids), retries_left=retries_left - 1,
+                )
             self.sim.call_in(
                 self.timing.pifs, self._transmit_poll, frame, ids, retries_left - 1
             )
             return
         assert self._scheduler is not None
         self.stats.polls_lost += 1
+        if self.trace is not None:
+            self.trace.emit(self.sim.now, "cfp", "poll_lost", stations=list(ids))
         for sid in ids:
             self._scheduler.on_response(sid, None, False, self.sim.now)
         self._schedule_step(self.timing.pifs)
@@ -300,6 +343,10 @@ class PcfCoordinator(ChannelListener):
             # reported abnormal (ok=False) so the scheduler's miss
             # escalation runs.
             self.stats.unreachable_nulls += 1
+            if self.trace is not None:
+                self.trace.emit(
+                    self.sim.now, "cfp", "null", station=sid, reason="radio_down"
+                )
             self._scheduler.on_response(sid, None, False, self.sim.now)
             self.sim.call_in(
                 self.timing.pifs - self.timing.sifs, self._responses, remaining
@@ -310,6 +357,10 @@ class PcfCoordinator(ChannelListener):
             # No response: the point coordinator reclaims the medium
             # after PIFS (it has already waited SIFS).
             self.stats.null_responses += 1
+            if self.trace is not None:
+                self.trace.emit(
+                    self.sim.now, "cfp", "null", station=sid, reason="empty"
+                )
             self._scheduler.on_response(sid, None, True, self.sim.now)
             self.sim.call_in(
                 self.timing.pifs - self.timing.sifs, self._responses, remaining
@@ -320,6 +371,12 @@ class PcfCoordinator(ChannelListener):
         scheduler = self._scheduler
 
         def finish(ev):
+            if self.trace is not None:
+                self.trace.emit(
+                    self.sim.now, "cfp", "response",
+                    station=sid, ok=ev.value.ok,
+                    piggyback=bool(frame.piggyback),
+                )
             scheduler.on_response(sid, frame, ev.value.ok, self.sim.now)
             # TXOP continuation: a backlogged station keeps the floor,
             # SIFS-separated, up to the opportunity limit — but only a
@@ -343,6 +400,11 @@ class PcfCoordinator(ChannelListener):
     def _finished(self, cf_end_ok: bool = True) -> None:
         now = self.sim.now
         self.stats.cfp_time += now - self._cfp_start
+        if self.trace is not None:
+            self.trace.emit(
+                now, "cfp", "end",
+                duration=now - self._cfp_start, cf_end_ok=cf_end_ok,
+            )
         if cf_end_ok or not self.strict_cf_end:
             self.nav.clear(now)
         else:

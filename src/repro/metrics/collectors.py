@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import typing
 
+from ..obs.registry import CounterMap, MetricsRegistry
 from ..traffic.base import Packet, TrafficKind
 from .stats import JitterTracker, OnlineStats, WindowedRatio
 
@@ -17,16 +18,32 @@ __all__ = ["MetricsCollector"]
 
 
 class MetricsCollector:
-    """Collects packet- and call-level outcomes for one scenario run."""
+    """Collects packet- and call-level outcomes for one scenario run.
 
-    def __init__(self, warmup: float = 0.0) -> None:
+    Per-kind delivered/loss tallies live in the scenario's
+    :class:`~repro.obs.registry.MetricsRegistry` (``delivered{kind=..}``
+    / ``losses{kind=..}``), exposed through dict-like facades so call
+    sites are unchanged; access delays additionally feed per-kind
+    registry histograms for snapshotting.
+    """
+
+    def __init__(
+        self, warmup: float = 0.0, metrics: MetricsRegistry | None = None
+    ) -> None:
         #: observations before this time are ignored (transient removal)
         self.warmup = warmup
+        self.metrics = metrics or MetricsRegistry()
         self.access_delay: dict[TrafficKind, OnlineStats] = {
             k: OnlineStats() for k in TrafficKind
         }
-        self.losses: dict[TrafficKind, int] = {k: 0 for k in TrafficKind}
-        self.delivered: dict[TrafficKind, int] = {k: 0 for k in TrafficKind}
+        self._delay_hist = {
+            k: self.metrics.histogram("access_delay", kind=k.value)
+            for k in TrafficKind
+        }
+        self.losses = CounterMap(self.metrics, "losses", TrafficKind, "kind")
+        self.delivered = CounterMap(
+            self.metrics, "delivered", TrafficKind, "kind"
+        )
         self.jitter: dict[str, JitterTracker] = {}
         self.max_delay: dict[str, float] = {}
         self.dropping = WindowedRatio()  # handoff calls
@@ -47,6 +64,7 @@ class MetricsCollector:
         self.useful_bits += packet.bits
         delay = packet.access_delay()
         self.access_delay[kind].add(delay)
+        self._delay_hist[kind].observe(delay)
         if kind == TrafficKind.VOICE:
             tracker = self.jitter.setdefault(packet.source_id, JitterTracker())
             if packet.new_stream:

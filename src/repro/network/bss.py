@@ -31,6 +31,8 @@ from ..mac.dcf import DcfTransmitter
 from ..mac.nav import Nav
 from ..mac.station import DataStation
 from ..metrics.collectors import MetricsCollector
+from ..obs.registry import MetricsRegistry
+from ..obs.trace import TraceConfig, TraceRecorder
 from ..phy.channel import Channel
 from ..phy.error_model import BitErrorModel
 from ..phy.timing import PhyTiming
@@ -98,6 +100,12 @@ class ScenarioConfig:
     #: semantics (strict CF-End delivery with NAV-expiry fallback) and
     #: adds a ``faults`` degradation sub-dict to the results
     faults: FaultPlan | None = None
+    #: structured-event tracing (repro.obs).  None (the default) keeps
+    #: tracing entirely off: no recorder is built, instrumented hot
+    #: paths see ``trace is None``, and results are bit-for-bit the
+    #: seed's.  Any config — even all-categories — only *adds* an
+    #: ``obs`` sub-dict to the results
+    trace: TraceConfig | None = None
     #: priority partition of the contention window (paper Table I)
     alphas: tuple[int, ...] = (4, 4, 8)
     beta: int = 0
@@ -126,6 +134,7 @@ class ScenarioConfig:
         # asdict leaves the nested tuples; FaultPlan.to_dict emits the
         # JSON-stable (list-based) form
         d["faults"] = self.faults.to_dict() if self.faults is not None else None
+        d["trace"] = self.trace.to_dict() if self.trace is not None else None
         return d
 
     @classmethod
@@ -140,6 +149,8 @@ class ScenarioConfig:
             d["alphas"] = tuple(d["alphas"])
         if isinstance(d.get("faults"), typing.Mapping):
             d["faults"] = FaultPlan.from_dict(d["faults"])
+        if isinstance(d.get("trace"), typing.Mapping):
+            d["trace"] = TraceConfig.from_dict(d["trace"])
         return cls(**d)
 
     def offered_load_bps(self) -> float:
@@ -180,6 +191,13 @@ class BssScenario:
         self.timing = PhyTiming()
         self.streams = RandomStreams(config.seed)
         plan = config.faults
+        #: scenario-wide instrument registry (always built — creating
+        #: instruments costs nothing on the event path)
+        self.metrics = MetricsRegistry(scheme=config.scheme, seed=config.seed)
+        #: trace recorder, or None when the config leaves tracing off
+        self.trace = (
+            TraceRecorder(config.trace) if config.trace is not None else None
+        )
         # Fault injectors draw from their own streams (faults/*) so a
         # plan-free run sees exactly the seed's draw sequences.
         error_model = BitErrorModel(config.ber, self.streams.get("phy/errors"))
@@ -211,7 +229,9 @@ class BssScenario:
         self.nav = (
             self.invariants.monitored_nav() if self.invariants else Nav()
         )
-        self.collector = MetricsCollector(warmup=config.warmup)
+        self.collector = MetricsCollector(
+            warmup=config.warmup, metrics=self.metrics
+        )
 
         self._shared_policy = self._build_policy()
         self.ap = self._build_ap()
@@ -270,9 +290,39 @@ class BssScenario:
             self.mobility = NeighborhoodMobility(
                 self.sim, self.call_generator, self.streams, ncfg
             )
+        if self.trace is not None:
+            self._wire_trace(self.trace)
         # utilization-window bookkeeping for the adaptation feedback
         self._last_busy = 0.0
         self._last_feedback_time = 0.0
+
+    def _wire_trace(self, trace) -> None:
+        """Hand the recorder to each instrumented component whose
+        category is wanted; everything else keeps ``trace = None`` so
+        its hot path stays a single dead branch."""
+        if trace.wants("frame"):
+            self.channel.trace = trace
+        if trace.wants("cfp"):
+            self.ap.coordinator.trace = trace
+        if trace.wants("token") and hasattr(self.ap, "policy"):
+            self.ap.policy.trace = trace
+        if trace.wants("admission") and hasattr(self.ap, "policy"):
+            self.ap.trace = trace
+        if trace.wants("backoff"):
+            # call stations are created on the fly; the generator
+            # stamps the recorder onto each new transmitter
+            self.call_generator.trace = trace
+            for station in self.data_stations:
+                station.dcf.trace = trace
+        if trace.wants("fault"):
+            if self.frame_injector is not None:
+                self.frame_injector.trace = trace
+            if self.fault_driver is not None:
+                self.fault_driver.trace = trace
+        if trace.config.snapshot_interval > 0:
+            self.metrics.start_snapshots(
+                self.sim, trace.config.snapshot_interval
+            )
 
     # -- construction helpers ----------------------------------------------------
     def _build_policy(self):
@@ -294,6 +344,7 @@ class BssScenario:
                 self.timing,
                 self.nav,
                 ConventionalApConfig(rt_packet_bits=RT_PACKET_BITS),
+                metrics=self.metrics,
             )
         multipoll = cfg.multipoll_size if cfg.scheme == "proposed-multipoll" else 1
         ap_cfg = QosApConfig(
@@ -312,6 +363,7 @@ class BssScenario:
             config=ap_cfg,
             bandwidth=bandwidth,
             feedback=self._feedback if cfg.adaptive_bandwidth else None,
+            metrics=self.metrics,
         )
 
     def _call_mix(self) -> CallMixConfig:
@@ -456,4 +508,14 @@ class BssScenario:
         if cfg.faults is not None:
             # after finalize, so the QoS-breach degradation is included
             results["faults"] = self._fault_summary()
+        if self.trace is not None:
+            # only present on traced configs, so trace-free result rows
+            # stay byte-identical to the seed's
+            results["obs"] = {
+                "trace_emitted": self.trace.emitted,
+                "trace_buffered": len(self.trace),
+                "trace_dropped": self.trace.dropped,
+                "trace_counts": self.trace.counts_by_category(),
+                "metrics_snapshots": len(self.metrics.snapshots),
+            }
         return results

@@ -125,6 +125,9 @@ class CallGenerator:
         self.blocked = 0
         self.dropped = 0
         self.completed = 0
+        #: optional :class:`repro.obs.trace.TraceRecorder`, installed on
+        #: every DCF transmitter this generator creates (``backoff``)
+        self.trace = None
 
     # -- arrival processes -----------------------------------------------------
     def start(self) -> None:
@@ -163,6 +166,7 @@ class CallGenerator:
             sid,
             self.nav,
         )
+        dcf.trace = self.trace
         station = RealTimeStation(
             self.sim,
             sid,

@@ -1,0 +1,65 @@
+"""Observability: structured tracing, metrics registry, profiling.
+
+This package is the run-time visibility layer of the reproduction —
+the substrate the exec, validate and faults subsystems report through,
+and the thing a perf PR measures against:
+
+* :class:`TraceRecorder` / :class:`TraceConfig` — a ring-buffered,
+  category-filtered structured event trace (frame TX, backoff draws,
+  CFP poll cycles, token grants/misses, admission decisions, fault
+  injections).  Off by default; every instrumentation point in the
+  simulation stack is guarded by a single ``is None`` check, so a
+  trace-free run pays one attribute load per site.  Deterministic
+  JSONL export: a fixed seed produces byte-identical traces.
+* :class:`MetricsRegistry` — pure-Python counters, gauges and
+  fixed-bucket histograms with optional labels (per-station,
+  per-priority, per-BSS) and periodic sim-clock snapshotting.  The
+  ad-hoc counter dicts that used to live in ``qos_ap``/``bss``/
+  ``token_policy`` are now registry-backed behind compatible facades
+  (:func:`counter_property`, :class:`CounterMap`).
+* :class:`EngineProfiler` — per-event-type handler timing and
+  events/sec for :class:`~repro.sim.engine.Simulator`, surfaced
+  through sweep telemetry and the ``python -m repro trace`` CLI.
+
+Layering: ``repro.obs`` sits *below* the domain packages (sim, mac,
+core, network import it), so it must not import any of them at module
+level.
+"""
+
+from .profiler import EngineProfiler
+from .registry import (
+    Counter,
+    CounterMap,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter_property,
+)
+from .report import render_category_counts, render_profile, render_timeline
+from .trace import (
+    CATEGORIES,
+    TraceConfig,
+    TraceRecorder,
+    TraceSchemaError,
+    validate_trace_file,
+    validate_trace_line,
+)
+
+__all__ = [
+    "CATEGORIES",
+    "TraceConfig",
+    "TraceRecorder",
+    "TraceSchemaError",
+    "validate_trace_file",
+    "validate_trace_line",
+    "Counter",
+    "CounterMap",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "counter_property",
+    "EngineProfiler",
+    "render_category_counts",
+    "render_profile",
+    "render_timeline",
+]

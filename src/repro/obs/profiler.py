@@ -1,0 +1,94 @@
+"""Engine profiling: per-event-type handler timing and events/sec.
+
+:class:`EngineProfiler` plugs into :attr:`repro.sim.engine.Simulator.
+profiler`.  When attached, the engine hands it every agenda item to
+fire; the profiler times the handler with ``perf_counter`` and
+aggregates by handler key — the callback's ``__qualname__`` for timer
+callbacks, the item's class name for events and processes.  Detached
+(the default), the engine's hot path pays one ``is None`` check.
+
+Profiling output is wall-clock derived and therefore *never* part of
+result rows, traces or anything else that must be deterministic; it is
+surfaced through the ``python -m repro trace`` CLI report and sweep
+telemetry only.
+"""
+
+from __future__ import annotations
+
+import time
+import typing
+
+__all__ = ["EngineProfiler"]
+
+
+class EngineProfiler:
+    """Times agenda-item handlers by type (see module docstring)."""
+
+    def __init__(self) -> None:
+        #: handler key -> [calls, total seconds]
+        self._handlers: dict[str, list] = {}
+        self.events = 0
+        self._t0: float | None = None
+        self._t1: float = 0.0
+
+    # -- the engine-facing hook --------------------------------------------
+    def fire(self, item: typing.Any) -> None:
+        """Fire one agenda item, timing its handler.
+
+        ``item`` is whatever the simulator popped: a ``TimerHandle``
+        (fired via ``_fire``) or an event/process (``_process``).
+        """
+        fn = getattr(item, "_fn", None)
+        if fn is not None:  # a TimerHandle
+            key = getattr(fn, "__qualname__", None) or repr(fn)
+            handler = item._fire
+        else:
+            key = type(item).__name__
+            handler = item._process
+        start = time.perf_counter()
+        if self._t0 is None:
+            self._t0 = start
+        try:
+            handler()
+        finally:
+            end = time.perf_counter()
+            self._t1 = end
+            self.events += 1
+            entry = self._handlers.get(key)
+            if entry is None:
+                self._handlers[key] = [1, end - start]
+            else:
+                entry[0] += 1
+                entry[1] += end - start
+
+    # -- reporting ----------------------------------------------------------
+    @property
+    def wall_time(self) -> float:
+        """Wall-clock span from the first to the last profiled event."""
+        if self._t0 is None:
+            return 0.0
+        return self._t1 - self._t0
+
+    @property
+    def events_per_sec(self) -> float:
+        wall = self.wall_time
+        return self.events / wall if wall > 0 else 0.0
+
+    def summary(self) -> dict[str, typing.Any]:
+        """Aggregate view: per-handler timing plus overall throughput."""
+        handlers = {
+            key: {
+                "calls": calls,
+                "total_s": total,
+                "mean_us": (total / calls) * 1e6 if calls else 0.0,
+            }
+            for key, (calls, total) in sorted(
+                self._handlers.items(), key=lambda kv: -kv[1][1]
+            )
+        }
+        return {
+            "events": self.events,
+            "wall_time_s": self.wall_time,
+            "events_per_sec": self.events_per_sec,
+            "handlers": handlers,
+        }

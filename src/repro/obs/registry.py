@@ -1,0 +1,280 @@
+"""The metrics registry: counters, gauges, fixed-bucket histograms.
+
+Pure Python, no dependencies: an instrument is a tiny ``__slots__``
+object the owning component holds directly, so the hot-path cost of
+``counter.inc()`` is one attribute store.  The registry is only
+consulted at creation and snapshot time.
+
+Identity is ``name`` plus a sorted label set (per-station,
+per-priority, per-BSS, ...), rendered Prometheus-style in snapshots::
+
+    ap_admitted{kind=new}  ->  17
+
+Facades for pre-existing call sites:
+
+* :func:`counter_property` — a class-level property that proxies an
+  ``obj.some_counter += 1`` attribute to a registry counter held in
+  ``obj._counters``;
+* :class:`CounterMap` — a dict-like view (``m[key] += 1``) over one
+  counter per key, for the per-kind counter dicts the metrics
+  collector keeps.
+"""
+
+from __future__ import annotations
+
+import bisect
+import typing
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "CounterMap",
+    "counter_property",
+    "DELAY_BUCKETS",
+]
+
+#: default access-delay histogram bounds (seconds) — chosen around the
+#: paper's QoS budgets (30 ms voice jitter, 50 ms video delay)
+DELAY_BUCKETS: tuple[float, ...] = (
+    0.001, 0.002, 0.005, 0.010, 0.020, 0.030, 0.050, 0.075, 0.100, 0.250,
+)
+
+
+class Counter:
+    """Monotonically increasing value (int or float)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/sum/min/max.
+
+    ``bounds`` are the inclusive upper edges of the finite buckets; an
+    implicit overflow bucket catches everything above the last edge.
+    """
+
+    __slots__ = ("bounds", "bucket_counts", "count", "total", "min", "max")
+
+    def __init__(self, bounds: typing.Sequence[float]) -> None:
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        ordered = tuple(float(b) for b in bounds)
+        if any(b2 <= b1 for b1, b2 in zip(ordered, ordered[1:])):
+            raise ValueError(f"bucket bounds must be strictly increasing: {bounds}")
+        self.bounds = ordered
+        self.bucket_counts = [0] * (len(ordered) + 1)  # +1 overflow
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile estimate (upper edge of the
+        bucket holding the q-th observation; inf for overflow)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for i, c in enumerate(self.bucket_counts):
+            seen += c
+            if seen >= rank and c:
+                return self.bounds[i] if i < len(self.bounds) else float("inf")
+        return float("inf")
+
+    def snapshot(self) -> dict[str, typing.Any]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "buckets": {
+                ("+inf" if i == len(self.bounds) else repr(self.bounds[i])): c
+                for i, c in enumerate(self.bucket_counts)
+                if c
+            },
+        }
+
+
+def _key(name: str, labels: dict[str, typing.Any]) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class MetricsRegistry:
+    """Creates, owns and snapshots instruments (see module docstring).
+
+    Parameters
+    ----------
+    labels:
+        Constant labels stamped on the registry itself (e.g. the BSS
+        id); reported once per snapshot, not per instrument.
+    """
+
+    def __init__(self, **labels: typing.Any) -> None:
+        self.labels = dict(labels)
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        #: periodic snapshots appended by :meth:`start_snapshots`
+        self.snapshots: list[dict[str, typing.Any]] = []
+
+    # -- instrument factories (get-or-create) ------------------------------
+    def counter(self, name: str, **labels: typing.Any) -> Counter:
+        key = _key(name, labels)
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter()
+        return instrument
+
+    def gauge(self, name: str, **labels: typing.Any) -> Gauge:
+        key = _key(name, labels)
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge()
+        return instrument
+
+    def histogram(
+        self,
+        name: str,
+        bounds: typing.Sequence[float] = DELAY_BUCKETS,
+        **labels: typing.Any,
+    ) -> Histogram:
+        key = _key(name, labels)
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram(bounds)
+        return instrument
+
+    # -- snapshotting -------------------------------------------------------
+    def snapshot(self, now: float | None = None) -> dict[str, typing.Any]:
+        """One deterministic point-in-time view of every instrument."""
+        out: dict[str, typing.Any] = {
+            "labels": dict(sorted(self.labels.items())),
+            "counters": {
+                k: self._counters[k].value for k in sorted(self._counters)
+            },
+            "gauges": {k: self._gauges[k].value for k in sorted(self._gauges)},
+            "histograms": {
+                k: self._histograms[k].snapshot()
+                for k in sorted(self._histograms)
+            },
+        }
+        if now is not None:
+            out["t"] = now
+        return out
+
+    def start_snapshots(self, sim, interval: float) -> None:
+        """Record a snapshot every ``interval`` simulated seconds."""
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0, got {interval}")
+
+        def tick() -> None:
+            self.snapshots.append(self.snapshot(now=sim.now))
+            sim.call_in(interval, tick)
+
+        sim.call_in(interval, tick)
+
+
+class CounterMap:
+    """Dict-like facade over one registry counter per fixed key.
+
+    Built for the per-:class:`~repro.traffic.base.TrafficKind` counter
+    dicts in the metrics collector: reads return plain numbers, and
+    ``m[key] += 1`` updates the underlying counter, so pre-registry
+    call sites keep working unchanged.
+    """
+
+    __slots__ = ("_counters",)
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        name: str,
+        keys: typing.Iterable[typing.Any],
+        label: str = "key",
+    ) -> None:
+        self._counters = {
+            key: registry.counter(
+                name, **{label: getattr(key, "value", str(key))}
+            )
+            for key in keys
+        }
+
+    def __getitem__(self, key: typing.Any) -> int | float:
+        return self._counters[key].value
+
+    def __setitem__(self, key: typing.Any, value: int | float) -> None:
+        self._counters[key].value = value
+
+    def __contains__(self, key: typing.Any) -> bool:
+        return key in self._counters
+
+    def __iter__(self) -> typing.Iterator[typing.Any]:
+        return iter(self._counters)
+
+    def __len__(self) -> int:
+        return len(self._counters)
+
+    def keys(self):
+        return self._counters.keys()
+
+    def values(self) -> list[int | float]:
+        return [c.value for c in self._counters.values()]
+
+    def items(self) -> list[tuple[typing.Any, int | float]]:
+        return [(k, c.value) for k, c in self._counters.items()]
+
+
+def counter_property(name: str, doc: str | None = None) -> property:
+    """Class-level facade: attribute access backed by a registry counter.
+
+    The owning class keeps a ``self._counters`` dict mapping ``name``
+    to a :class:`Counter`; ``obj.name`` then reads the counter's value
+    and ``obj.name += 1`` (property get + set) writes through, so
+    pre-registry call sites and tests keep working unchanged.
+    """
+
+    def fget(self) -> int | float:
+        return self._counters[name].value
+
+    def fset(self, value: int | float) -> None:
+        self._counters[name].value = value
+
+    return property(fget, fset, doc=doc or f"registry-backed counter {name!r}")

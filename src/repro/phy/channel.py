@@ -95,6 +95,9 @@ class Channel:
         #: survived collisions and the BER model — targeted fault
         #: injection rides on top of the physical error processes
         self.fault_injector = None
+        #: optional :class:`repro.obs.trace.TraceRecorder` (``frame``
+        #: category); None keeps the hot path to a single guard
+        self.trace = None
 
     # -- attachment ----------------------------------------------------------
     def attach(self, listener: ChannelListener) -> None:
@@ -170,6 +173,18 @@ class Channel:
             if not bit_errors and self.fault_injector is not None:
                 bit_errors = self.fault_injector.corrupts(tx.frame, now)
         outcome = TxOutcome(frame=tx.frame, collided=tx.collided, bit_errors=bit_errors)
+        if self.trace is not None:
+            ftype = getattr(tx.frame, "ftype", None)
+            self.trace.emit(
+                now, "frame", "tx",
+                ftype=getattr(ftype, "value", ftype),
+                src=getattr(tx.frame, "src", None),
+                dest=getattr(tx.frame, "dest", None),
+                start=tx.start,
+                ok=outcome.ok,
+                collided=tx.collided,
+                bit_errors=bit_errors,
+            )
         if not self._active:
             self.idle_since = now
             if self._busy_started is not None:

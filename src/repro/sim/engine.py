@@ -79,6 +79,10 @@ class Simulator:
         #: optional ``fn(time)`` called before each agenda entry fires
         #: (the validation monitors' clock-monotonicity hook)
         self.step_observer: typing.Callable[[float], None] | None = None
+        #: optional :class:`repro.obs.profiler.EngineProfiler`; when
+        #: attached it fires (and times) every agenda item — detached,
+        #: the hot path pays one ``is None`` check
+        self.profiler: typing.Any | None = None
 
     # -- clock -----------------------------------------------------------
     @property
@@ -155,7 +159,9 @@ class Simulator:
         self.events_processed += 1
         if self.step_observer is not None:
             self.step_observer(time)
-        if isinstance(item, TimerHandle):
+        if self.profiler is not None:
+            self.profiler.fire(item)
+        elif isinstance(item, TimerHandle):
             item._fire()
         else:
             item._process()

@@ -93,6 +93,6 @@ def test_invalid_scheme_rejected():
         main(["quick", "--scheme", "bogus"])
 
 
-def test_missing_command_rejected():
-    with pytest.raises(SystemExit):
-        main([])
+def test_missing_command_prints_help(capsys):
+    assert main([]) == 0
+    assert "usage:" in capsys.readouterr().out

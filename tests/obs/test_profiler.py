@@ -1,0 +1,73 @@
+"""EngineProfiler: attachment, handler keys, throughput reporting."""
+
+from repro.obs import EngineProfiler, render_profile
+from repro.sim import Simulator
+
+
+def named_callback():
+    pass
+
+
+def test_detached_engine_has_no_profiler():
+    sim = Simulator()
+    assert sim.profiler is None
+    sim.call_at(1.0, named_callback)
+    sim.run(until=2.0)  # hot path untouched
+
+
+def test_profiler_times_timer_callbacks_by_qualname():
+    sim = Simulator()
+    prof = EngineProfiler()
+    sim.profiler = prof
+    for i in range(3):
+        sim.call_at(float(i), named_callback)
+    sim.run(until=5.0)
+    assert prof.events == 3
+    summary = prof.summary()
+    key = "named_callback"
+    assert key in summary["handlers"]
+    assert summary["handlers"][key]["calls"] == 3
+    assert summary["handlers"][key]["total_s"] >= 0.0
+
+
+def test_profiler_counts_process_events():
+    sim = Simulator()
+    prof = EngineProfiler()
+    sim.profiler = prof
+
+    def proc():
+        yield 1.0
+        yield 1.0
+
+    sim.process(proc())
+    sim.run(until=5.0)
+    assert prof.events >= 2
+    assert prof.events_per_sec >= 0.0
+
+
+def test_profiled_run_matches_unprofiled_results():
+    def build():
+        sim = Simulator()
+        fired = []
+        sim.call_at(1.0, lambda: fired.append(sim.now))
+        sim.call_at(2.0, lambda: fired.append(sim.now))
+        return sim, fired
+
+    plain_sim, plain = build()
+    plain_sim.run(until=3.0)
+    prof_sim, profiled = build()
+    prof_sim.profiler = EngineProfiler()
+    prof_sim.run(until=3.0)
+    assert plain == profiled == [1.0, 2.0]
+    assert plain_sim.events_processed == prof_sim.events_processed
+
+
+def test_render_profile_mentions_throughput():
+    sim = Simulator()
+    prof = EngineProfiler()
+    sim.profiler = prof
+    sim.call_at(0.5, named_callback)
+    sim.run(until=1.0)
+    text = render_profile(prof)
+    assert "events/s" in text
+    assert "named_callback" in text

@@ -1,0 +1,109 @@
+"""MetricsRegistry instruments, snapshots and the compat facades."""
+
+import pytest
+
+from repro.obs import (
+    CounterMap,
+    Histogram,
+    MetricsRegistry,
+    counter_property,
+)
+from repro.sim import Simulator
+
+
+class TestInstruments:
+    def test_counter_get_or_create(self):
+        reg = MetricsRegistry()
+        c = reg.counter("polls")
+        c.inc()
+        c.inc(2)
+        assert reg.counter("polls").value == 3
+        assert reg.counter("polls") is c
+
+    def test_labels_distinguish_instruments(self):
+        reg = MetricsRegistry()
+        reg.counter("delivered", kind="voice").inc()
+        reg.counter("delivered", kind="video").inc(5)
+        snap = reg.snapshot()
+        assert snap["counters"] == {
+            "delivered{kind=video}": 5,
+            "delivered{kind=voice}": 1,
+        }
+
+    def test_gauge(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("tokens")
+        g.set(4.5)
+        assert reg.snapshot()["gauges"]["tokens"] == 4.5
+
+    def test_histogram_buckets_and_stats(self):
+        h = Histogram((0.01, 0.1, 1.0))
+        for v in (0.005, 0.05, 0.05, 0.5, 5.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 5
+        assert snap["min"] == 0.005 and snap["max"] == 5.0
+        assert snap["buckets"] == {"0.01": 1, "0.1": 2, "1.0": 1, "+inf": 1}
+        assert h.mean == pytest.approx(5.605 / 5)
+        assert h.quantile(0.5) == 0.1
+        assert h.quantile(1.0) == float("inf")
+
+    def test_histogram_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(())
+        with pytest.raises(ValueError):
+            Histogram((1.0, 1.0))
+
+
+class TestSnapshots:
+    def test_snapshot_is_deterministically_ordered(self):
+        reg = MetricsRegistry(bss="b0")
+        reg.counter("z").inc()
+        reg.counter("a").inc()
+        snap = reg.snapshot(now=2.0)
+        assert list(snap["counters"]) == ["a", "z"]
+        assert snap["t"] == 2.0
+        assert snap["labels"] == {"bss": "b0"}
+
+    def test_periodic_snapshots_on_the_sim_clock(self):
+        sim = Simulator()
+        reg = MetricsRegistry()
+        c = reg.counter("ticks")
+        sim.call_at(1.5, c.inc)
+        reg.start_snapshots(sim, 1.0)
+        sim.run(until=3.5)
+        assert [s["t"] for s in reg.snapshots] == [1.0, 2.0, 3.0]
+        assert [s["counters"]["ticks"] for s in reg.snapshots] == [0, 1, 1]
+
+    def test_start_snapshots_rejects_nonpositive_interval(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().start_snapshots(Simulator(), 0.0)
+
+
+class TestFacades:
+    def test_counter_map_reads_and_writes_through(self):
+        reg = MetricsRegistry()
+        m = CounterMap(reg, "losses", ("x", "y"))
+        m["x"] += 1
+        m["x"] += 1
+        m["y"] = 7
+        assert m["x"] == 2
+        assert dict(m.items()) == {"x": 2, "y": 7}
+        assert set(m.keys()) == {"x", "y"}
+        assert len(m) == 2 and "x" in m
+        assert reg.snapshot()["counters"]["losses{key=x}"] == 2
+
+    def test_counter_property_facade(self):
+        reg = MetricsRegistry()
+
+        class Holder:
+            polls = counter_property("polls")
+
+            def __init__(self):
+                self._counters = {"polls": reg.counter("holder_polls")}
+
+        h = Holder()
+        h.polls += 1
+        h.polls += 1
+        assert h.polls == 2
+        assert reg.counter("holder_polls").value == 2

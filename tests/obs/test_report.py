@@ -1,0 +1,68 @@
+"""CFP/CP timeline reconstruction and text rendering."""
+
+from repro.obs import TraceRecorder, render_category_counts, render_timeline
+from repro.obs.report import cfp_timeline
+
+
+def recorder_with_two_cfps():
+    rec = TraceRecorder()
+    rec.emit(1.00, "cfp", "start", max_duration=0.05)
+    rec.emit(1.00, "cfp", "poll", stations=["v1"])
+    rec.emit(1.001, "cfp", "response", station="v1", ok=True)
+    rec.emit(1.002, "cfp", "repoll", stations=["v2"], retries_left=1)
+    rec.emit(1.003, "cfp", "null", station="v2", reason="empty")
+    rec.emit(1.004, "cfp", "end", duration=0.004, cf_end_ok=True)
+    rec.emit(1.104, "cfp", "start", max_duration=0.05)
+    rec.emit(1.105, "cfp", "poll", stations=["v1"])
+    rec.emit(1.106, "cfp", "poll_lost", stations=["v1"])
+    rec.emit(1.107, "cfp", "end", duration=0.003, cf_end_ok=False)
+    return rec
+
+
+def test_cfp_timeline_reconstruction():
+    cfps = cfp_timeline(recorder_with_two_cfps())
+    assert len(cfps) == 2
+    first, second = cfps
+    assert first["start"] == 1.00 and first["end"] == 1.004
+    assert first["duration"] == 0.004
+    assert first["polls"] == 1 and first["repolls"] == 1
+    assert first["responses"] == 1 and first["nulls"] == 1
+    assert first["cp_after"] == second["start"] - first["end"]
+    assert second["polls_lost"] == 1
+    assert second["cp_after"] is None
+
+
+def test_partial_cfp_at_buffer_edge_is_ignored():
+    rec = TraceRecorder()
+    # an 'end' with no matching 'start' (evicted from the ring), then a
+    # 'start' with no 'end' yet
+    rec.emit(0.5, "cfp", "end", duration=0.01)
+    rec.emit(1.0, "cfp", "start", max_duration=0.05)
+    assert cfp_timeline(rec) == []
+    assert "no completed CFPs" in render_timeline(rec)
+
+
+def test_render_timeline_text():
+    text = render_timeline(recorder_with_two_cfps())
+    assert "2 contention-free periods" in text
+    assert "CFP #1" in text and "CFP #2" in text
+    assert "CP" in text and "gap" in text
+    assert "CFP share" in text
+
+
+def test_render_timeline_elides_long_traces():
+    rec = TraceRecorder()
+    for i in range(50):
+        t = float(i)
+        rec.emit(t, "cfp", "start", max_duration=0.05)
+        rec.emit(t + 0.01, "cfp", "end", duration=0.01)
+    text = render_timeline(rec, limit=40)
+    assert "10 more CFPs elided" in text
+
+
+def test_render_category_counts():
+    rec = recorder_with_two_cfps()
+    rec.emit(2.0, "token", "grant", station="v1")
+    text = render_category_counts(rec)
+    assert "11 events emitted" in text
+    assert "cfp" in text and "token" in text

@@ -1,0 +1,151 @@
+"""TraceConfig/TraceRecorder: filtering, ring, schema, determinism."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    CATEGORIES,
+    TraceConfig,
+    TraceRecorder,
+    TraceSchemaError,
+    validate_trace_file,
+    validate_trace_line,
+)
+
+
+class TestTraceConfig:
+    def test_defaults_record_everything(self):
+        cfg = TraceConfig()
+        assert cfg.categories == CATEGORIES
+        assert cfg.capacity == 65536
+        assert cfg.snapshot_interval == 1.0
+
+    def test_categories_normalize_to_canonical_order(self):
+        a = TraceConfig(categories=("token", "cfp"))
+        b = TraceConfig(categories=("cfp", "token"))
+        assert a.categories == b.categories == ("cfp", "token")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(ValueError, match="unknown trace categories"):
+            TraceConfig(categories=("cfp", "nope"))
+
+    def test_empty_categories_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            TraceConfig(categories=())
+
+    def test_negative_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            TraceConfig(capacity=-1)
+        with pytest.raises(ValueError):
+            TraceConfig(snapshot_interval=-0.1)
+
+    def test_dict_roundtrip(self):
+        cfg = TraceConfig(
+            categories=("frame", "fault"), capacity=128, snapshot_interval=0.0
+        )
+        rebuilt = TraceConfig.from_dict(json.loads(json.dumps(cfg.to_dict())))
+        assert rebuilt == cfg
+
+
+class TestTraceRecorder:
+    def test_emit_and_read_back(self):
+        rec = TraceRecorder()
+        rec.emit(0.5, "cfp", "start", max_duration=0.05)
+        rec.emit(0.6, "cfp", "end", duration=0.1)
+        events = list(rec.events())
+        assert len(events) == 2
+        t, seq, cat, ev, fields = events[0]
+        assert (t, seq, cat, ev) == (0.5, 1, "cfp", "start")
+        assert fields == {"max_duration": 0.05}
+
+    def test_unwanted_categories_are_dropped(self):
+        rec = TraceRecorder(TraceConfig(categories=("token",)))
+        assert rec.wants("token") and not rec.wants("frame")
+        rec.emit(0.0, "frame", "tx")
+        rec.emit(0.0, "token", "grant")
+        assert rec.emitted == 1
+        assert [e[2] for e in rec.events()] == ["token"]
+
+    def test_ring_evicts_oldest(self):
+        rec = TraceRecorder(TraceConfig(capacity=3))
+        for i in range(5):
+            rec.emit(float(i), "frame", "tx", i=i)
+        assert rec.emitted == 5
+        assert len(rec) == 3
+        assert rec.dropped == 2
+        assert [f["i"] for *_x, f in rec.events()] == [2, 3, 4]
+
+    def test_counts_by_category(self):
+        rec = TraceRecorder()
+        rec.emit(0.0, "frame", "tx")
+        rec.emit(0.0, "frame", "tx")
+        rec.emit(0.0, "token", "grant")
+        assert rec.counts_by_category() == {"frame": 2, "token": 1}
+
+    def test_jsonl_lines_sorted_and_compact(self):
+        rec = TraceRecorder()
+        rec.emit(1.0, "backoff", "draw", station="s1", slots=7)
+        (line,) = rec.jsonl_lines()
+        assert line == (
+            '{"cat":"backoff","ev":"draw","seq":1,"slots":7,'
+            '"station":"s1","t":1.0}'
+        )
+
+    def test_reserved_field_name_rejected_at_export(self):
+        rec = TraceRecorder()
+        rec.emit(0.0, "frame", "tx", seq=9)
+        with pytest.raises(ValueError, match="reserved"):
+            list(rec.jsonl_lines())
+
+    def test_export_roundtrips_through_validator(self, tmp_path):
+        rec = TraceRecorder()
+        for i in range(10):
+            rec.emit(i * 0.1, "cfp", "poll", stations=[f"s{i}"])
+        path = tmp_path / "trace.jsonl"
+        assert rec.export_jsonl(str(path)) == 10
+        assert validate_trace_file(str(path)) == 10
+
+
+class TestSchemaValidation:
+    def test_good_line(self):
+        record = validate_trace_line(
+            '{"t": 0.25, "seq": 3, "cat": "token", "ev": "miss", "misses": 2}'
+        )
+        assert record["misses"] == 2
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "not json",
+            "[1, 2]",
+            '{"seq": 1, "cat": "cfp", "ev": "x"}',  # missing t
+            '{"t": -1, "seq": 1, "cat": "cfp", "ev": "x"}',
+            '{"t": 0, "seq": 0, "cat": "cfp", "ev": "x"}',
+            '{"t": 0, "seq": 1, "cat": "bogus", "ev": "x"}',
+            '{"t": 0, "seq": 1, "cat": "cfp", "ev": ""}',
+        ],
+    )
+    def test_bad_lines_raise(self, line):
+        with pytest.raises(TraceSchemaError):
+            validate_trace_line(line)
+
+    def test_file_rejects_nonmonotonic_seq(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"t": 0, "seq": 2, "cat": "cfp", "ev": "a"}\n'
+            '{"t": 1, "seq": 2, "cat": "cfp", "ev": "b"}\n'
+        )
+        with pytest.raises(TraceSchemaError, match="not increasing"):
+            validate_trace_file(str(path))
+
+    def test_file_rejects_time_going_backwards(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"t": 1.0, "seq": 1, "cat": "cfp", "ev": "a"}\n'
+            '{"t": 0.5, "seq": 2, "cat": "cfp", "ev": "b"}\n'
+        )
+        with pytest.raises(TraceSchemaError, match="backwards"):
+            validate_trace_file(str(path))
