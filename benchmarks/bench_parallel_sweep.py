@@ -14,10 +14,11 @@ import json
 import os
 import time
 
+from repro.bench import merge_section
 from repro.exec import ExecutorConfig, SweepExecutor
 from repro.experiments import format_table, sweep_grid
 
-from conftest import save_artifact
+from conftest import RESULTS_DIR, save_artifact
 
 GRID_SCHEMES = ("proposed", "conventional")
 GRID_LOADS = (0.5, 3.0)
@@ -74,6 +75,41 @@ def test_parallel_sweep_speedup():
                 "identical rows, serial vs process pool"
             ),
         ),
+    )
+
+    # land the measured numbers in the same JSON schema the perf gate
+    # writes (full-size grid, vs the gate's scaled-down one)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    merge_section(
+        RESULTS_DIR / "bench-report.json",
+        "parallel_sweep",
+        {
+            "points": len(serial_rows),
+            "rows_identical": True,
+            "serial": {
+                "workers": 1,
+                "wall_s": round(serial_wall, 4),
+                "sim_events": serial_summary["sim_events"],
+                "events_per_sec": round(
+                    serial_summary["sim_events"] / serial_wall
+                ) if serial_wall > 0 else 0,
+                "worker_utilization": round(
+                    serial_summary["worker_utilization"], 4
+                ),
+            },
+            "parallel": {
+                "workers": PARALLEL_WORKERS,
+                "wall_s": round(parallel_wall, 4),
+                "sim_events": parallel_summary["sim_events"],
+                "events_per_sec": round(
+                    parallel_summary["sim_events"] / parallel_wall
+                ) if parallel_wall > 0 else 0,
+                "worker_utilization": round(
+                    parallel_summary["worker_utilization"], 4
+                ),
+            },
+            "speedup": round(speedup, 2),
+        },
     )
 
     assert len(serial_rows) == (

@@ -1,0 +1,27 @@
+#!/usr/bin/env python
+"""Perf-regression gate, runnable straight from a checkout.
+
+Thin wrapper over ``repro.bench.gate.main`` (the same code behind
+``python -m repro bench``) so CI and local runs share one entrypoint::
+
+    PYTHONPATH=src python benchmarks/perf_gate.py --tolerance 0.25
+    PYTHONPATH=src python benchmarks/perf_gate.py --update   # new baseline
+
+The baseline lives at the repository root (``BENCH_KERNEL.json``); this
+wrapper resolves it relative to its own location so the gate can be
+invoked from any working directory.  Exit code 1 means a regression.
+"""
+
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.bench import DEFAULT_BASELINE, main
+
+    argv = sys.argv[1:]
+    if "--baseline" not in argv:
+        argv = ["--baseline", str(REPO_ROOT / DEFAULT_BASELINE)] + argv
+    raise SystemExit(main(argv))

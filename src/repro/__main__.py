@@ -13,11 +13,14 @@ chaos             run a fault-injection soak tier; emit a degradation
 trace             run one scenario with tracing + profiling on; write
                   the JSONL event trace and metrics snapshots, print a
                   CFP/CP timeline and the engine profile
+bench             run the pinned-seed perf microbenchmarks and gate
+                  them against the committed BENCH_KERNEL.json baseline
+                  (``--update`` rewrites the baseline deliberately)
 
 Run with no command to see this help.
 
-Exit codes: 0 success; 1 failed validation claims / chaos gates;
-2 sweep points permanently failed after retries.
+Exit codes: 0 success; 1 failed validation claims / chaos gates /
+perf-gate regressions; 2 sweep points permanently failed after retries.
 """
 
 from __future__ import annotations
@@ -405,6 +408,20 @@ def main(argv: list[str] | None = None) -> int:
                        help="metrics snapshot period in sim seconds (0 = off)")
     trace.add_argument("--out-dir", default=".repro-cache/trace",
                        help="directory for trace.jsonl and metrics.json")
+
+    # the bench gate owns its full flag set (it is also reachable as
+    # ``benchmarks/perf_gate.py``); argparse's REMAINDER cannot forward
+    # leading optionals through a subparser, so dispatch before parsing
+    sub.add_parser(
+        "bench",
+        help="perf microbenchmarks + regression gate (see bench --help)",
+        add_help=False,
+    )
+    raw = sys.argv[1:] if argv is None else list(argv)
+    if raw[:1] == ["bench"]:
+        from .bench import main as bench_main
+
+        return bench_main(raw[1:])
 
     args = parser.parse_args(argv)
     if args.command is None:

@@ -92,3 +92,21 @@ class RunTelemetry:
                 busy / (self.workers * elapsed) if elapsed > 0 else 0.0
             ),
         }
+
+    def bench_entry(self, wall_s: float | None = None) -> dict[str, typing.Any]:
+        """Compact record for a bench report's ``parallel_sweep`` section.
+
+        ``wall_s`` overrides the telemetry's own elapsed clock when the
+        caller timed the run externally (the perf gate does, so both
+        modes are measured with the same stopwatch).
+        """
+        summary = self.summary()
+        wall = summary["wall_time"] if wall_s is None else wall_s
+        events = summary["sim_events"]
+        return {
+            "workers": self.workers,
+            "wall_s": round(wall, 4),
+            "sim_events": events,
+            "events_per_sec": round(events / wall) if wall > 0 else 0,
+            "worker_utilization": round(summary["worker_utilization"], 4),
+        }

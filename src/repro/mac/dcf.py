@@ -108,6 +108,20 @@ class DcfTransmitter(ChannelListener):
         self.rts_threshold = rts_threshold
         self.stats = DcfStats()
 
+        # hot-path constants: every derived duration below is a pure
+        # function of the (immutable) timing bundle, and the per-level
+        # IFS memo assumes the policy's AIFS surcharge is a static QoS
+        # parameter (it is, for every policy in this repo — see
+        # DESIGN.md "Performance")
+        self._slot = timing.slot
+        self._ack_timeout = timing.sifs + timing.ack_time() + timing.slot
+        self._cts_timeout = (
+            timing.sifs
+            + timing.frame_duration(FrameType.CTS)
+            + timing.slot
+        )
+        self._ifs_memo: dict[int, float] = {}
+
         self._queue: collections.deque[_Entry] = collections.deque()
         self._head: _Entry | None = None
         self._stage = 0
@@ -158,13 +172,22 @@ class DcfTransmitter(ChannelListener):
         self.channel.detach(self)
 
     # -- contention machinery --------------------------------------------------
+    def _ifs(self, level: int) -> float:
+        """DIFS plus the policy's (static) AIFS surcharge for ``level``."""
+        ifs = self._ifs_memo.get(level)
+        if ifs is None:
+            ifs = self._ifs_memo[level] = (
+                self.timing.difs + self.policy.extra_ifs(level)
+            )
+        return ifs
+
     def _start_next(self, fresh_arrival: bool) -> None:
         if self._head is not None or not self._queue:
             return
         self._head = self._queue.popleft()
         self._stage = 0
         now = self.sim.now
-        ifs = self.timing.difs + self.policy.extra_ifs(self._head.level)
+        ifs = self._ifs(self._head.level)
         if (
             fresh_arrival
             and not self.channel.is_busy
@@ -203,22 +226,24 @@ class DcfTransmitter(ChannelListener):
         """Schedule the backoff-completion timer if conditions allow."""
         if self._head is None or self._slots_left is None or self._timer is not None:
             return
-        now = self.sim.now
-        if self.channel.is_busy:
+        sim = self.sim
+        now = sim._now
+        if self.channel._active:
             return  # on_medium_idle will re-arm
         if self.nav.blocked(now):
             if self._nav_timer is None:
-                self._nav_timer = self.sim.call_at(self.nav.until, self._nav_expired)
+                self._nav_timer = sim.call_at(self.nav.until, self._nav_expired)
             return
         # Slot counting begins DIFS (plus the level's AIFS surcharge,
         # if the policy differentiates IFS) after the medium went idle —
         # or now, whichever is later: a frame that arrived mid-idle
         # cannot claim credit for slots it never observed.
-        ifs = self.timing.difs + self.policy.extra_ifs(self._head.level)
-        begin = max(self.channel.idle_since + ifs, now)
+        begin = self.channel.idle_since + self._ifs(self._head.level)
+        if begin < now:
+            begin = now
         self._count_begin = begin
-        self._timer = self.sim.call_at(
-            begin + self._slots_left * self.timing.slot, self._backoff_complete
+        self._timer = sim.call_at(
+            begin + self._slots_left * self._slot, self._backoff_complete
         )
 
     def _nav_expired(self) -> None:
@@ -239,7 +264,7 @@ class DcfTransmitter(ChannelListener):
         if elapsed <= 0:
             consumed = 0
         else:
-            consumed = int(elapsed / self.timing.slot + _SLOT_EPSILON)
+            consumed = int(elapsed / self._slot + _SLOT_EPSILON)
         consumed = min(consumed, self._slots_left)
         start = self._draw_value - self._slots_left
         self._slots_left -= consumed
@@ -261,19 +286,28 @@ class DcfTransmitter(ChannelListener):
         self._cancel_timer()
 
     def on_medium_idle(self, now: float) -> None:
-        if self._in_exchange:
+        # duplicate _arm()'s cheap rejects: most idle transitions reach
+        # a station with nothing to contend for, and the fan-out visits
+        # every attached station per transmission
+        if (
+            self._in_exchange
+            or self._head is None
+            or self._slots_left is None
+            or self._timer is not None
+        ):
             return
         self._arm()
 
     def on_frame(self, frame: Frame, ok: bool, now: float) -> None:
         if not ok:
             return
-        if frame.ftype == FrameType.BEACON:
+        ftype = frame.ftype
+        if ftype is FrameType.BEACON:
             self.nav.set(now + frame.nav_duration)
             if self._timer is not None:
                 self._consume_elapsed_slots(now)
                 self._cancel_timer()
-        elif frame.ftype == FrameType.CF_END:
+        elif ftype is FrameType.CF_END:
             self.nav.clear(now)
             # medium idle callback follows the CF-End and re-arms us
 
@@ -295,7 +329,7 @@ class DcfTransmitter(ChannelListener):
         self._slots_left = None
         self.stats.attempts += 1
         if (
-            entry.frame.ftype == FrameType.DATA
+            entry.frame.ftype is FrameType.DATA
             and entry.frame.payload_bits > self.rts_threshold
         ):
             self._send_rts(entry)
@@ -319,9 +353,7 @@ class DcfTransmitter(ChannelListener):
             self.sim.call_in(self.timing.sifs, self._send_cts, entry)
         else:
             # no CTS will arrive; pay only the short CTS timeout
-            cts = Frame(FrameType.CTS, src=entry.frame.dest, dest=entry.frame.src)
-            timeout = self.timing.sifs + cts.airtime(self.timing) + self.timing.slot
-            self.sim.call_in(timeout, self._resolve, False)
+            self.sim.call_in(self._cts_timeout, self._resolve, False)
 
     def _send_cts(self, entry: _Entry) -> None:
         cts = Frame(FrameType.CTS, src=entry.frame.dest, dest=entry.frame.src)
@@ -338,7 +370,8 @@ class DcfTransmitter(ChannelListener):
     def _data_done(self, outcome: TxOutcome) -> None:
         entry = self._head
         assert entry is not None
-        needs_ack = entry.frame.ftype in (FrameType.DATA, FrameType.REQUEST)
+        ftype = entry.frame.ftype
+        needs_ack = ftype is FrameType.DATA or ftype is FrameType.REQUEST
         if not needs_ack:
             self._resolve(outcome.ok)
             return
@@ -348,8 +381,7 @@ class DcfTransmitter(ChannelListener):
             self.sim.call_in(self.timing.sifs, self._send_ack, entry)
         else:
             # No ACK will come; wait the ACK timeout, then recontend.
-            timeout = self.timing.sifs + self.timing.ack_time() + self.timing.slot
-            self.sim.call_in(timeout, self._resolve, False)
+            self.sim.call_in(self._ack_timeout, self._resolve, False)
 
     def _send_ack(self, entry: _Entry) -> None:
         ack = Frame(FrameType.ACK, src=entry.frame.dest, dest=entry.frame.src)

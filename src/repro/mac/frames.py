@@ -34,8 +34,13 @@ class FrameType(enum.Enum):
     CF_DATA = "cf_data"  # polled uplink real-time MPDU (+ piggyback bit)
     CF_END = "cf_end"  # ends a CFP
 
+    # members are singletons, so identity hashing is equivalent to the
+    # default name hash — but it is a C-level slot, and frame types key
+    # the airtime/header-bits dicts on the per-frame hot path
+    __hash__ = object.__hash__
 
-@dataclasses.dataclass
+
+@dataclasses.dataclass(slots=True)
 class Frame:
     """One MAC frame on the air.
 
@@ -79,24 +84,16 @@ class Frame:
         return self.payload_bits + _HEADER_BITS.get(self.ftype, 272)
 
     def airtime(self, timing: PhyTiming) -> float:
-        """Time this frame occupies the medium."""
-        if self.ftype == FrameType.ACK:
-            return timing.ack_time()
-        if self.ftype == FrameType.RTS:
-            return timing.plcp_time() + _HEADER_BITS[FrameType.RTS] / timing.data_rate
-        if self.ftype == FrameType.CTS:
-            return timing.plcp_time() + _HEADER_BITS[FrameType.CTS] / timing.data_rate
-        if self.ftype == FrameType.BEACON:
-            return timing.beacon_time()
-        if self.ftype in (FrameType.CF_POLL, FrameType.CF_END):
-            return timing.poll_time()
-        if self.ftype == FrameType.CF_MULTIPOLL:
-            # the multipoll body lists its targets: ~2 octets per entry
-            return timing.poll_time(extra_payload_bits=16 * len(self.poll_list))
-        if self.ftype == FrameType.REQUEST:
-            # short request MPDU: header + a small QoS descriptor
-            return timing.frame_airtime(_REQUEST_PAYLOAD_BITS)
-        return timing.frame_airtime(self.payload_bits)
+        """Time this frame occupies the medium.
+
+        Delegates to the memoized :meth:`PhyTiming.frame_duration`
+        (keyed by frame type, payload size, and — for multipolls —
+        the ~2-octet-per-entry poll-list surcharge).
+        """
+        ftype = self.ftype
+        if ftype is FrameType.CF_MULTIPOLL:
+            return timing.frame_duration(ftype, 0, 16 * len(self.poll_list))
+        return timing.frame_duration(ftype, self.payload_bits)
 
 
 #: header bits per frame type, for the BER model

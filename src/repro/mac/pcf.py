@@ -138,6 +138,11 @@ class PcfCoordinator(ChannelListener):
         #: (PIFS-separated) before the coordinator gives up on the step
         #: and reports the polled stations unreachable
         self.max_poll_retries = 2
+        # hot-path constants: the CFP budget check runs once per
+        # scheduling step and both bounds are pure functions of the
+        # immutable timing bundle
+        self._worst_exchange_time = self._worst_exchange()
+        self._end_cost = timing.poll_time() + timing.sifs
         #: honor CF-End delivery: when True a corrupted CF-End leaves
         #: the NAV armed and the BSS falls back to NAV expiry (the
         #: 802.11 duration-field contract).  Off by default — the seed's
@@ -244,8 +249,9 @@ class PcfCoordinator(ChannelListener):
         assert self._scheduler is not None
         now = self.sim.now
         elapsed = now - self._cfp_start
-        end_cost = self.timing.poll_time() + self.timing.sifs
-        over_budget = now + self._worst_exchange() + end_cost > self._deadline
+        over_budget = (
+            now + self._worst_exchange_time + self._end_cost > self._deadline
+        )
         action = None
         if not over_budget:
             action = self._scheduler.next_action(now, elapsed)

@@ -26,7 +26,7 @@ core, network import it), so it must not import any of them at module
 level.
 """
 
-from .profiler import EngineProfiler
+from .profiler import EngineProfiler, measure_allocations
 from .registry import (
     Counter,
     CounterMap,
@@ -59,6 +59,7 @@ __all__ = [
     "MetricsRegistry",
     "counter_property",
     "EngineProfiler",
+    "measure_allocations",
     "render_category_counts",
     "render_profile",
     "render_timeline",

@@ -16,9 +16,32 @@ telemetry only.
 from __future__ import annotations
 
 import time
+import tracemalloc
 import typing
 
-__all__ = ["EngineProfiler"]
+__all__ = ["EngineProfiler", "measure_allocations"]
+
+
+def measure_allocations(fn: typing.Callable[[], typing.Any]) -> tuple:
+    """Run ``fn()`` under ``tracemalloc``; return ``(result, peak_kib)``.
+
+    Peak traced allocation is measured relative to the moment the call
+    starts, so a warm interpreter does not inflate the number.  Tracing
+    slows execution several-fold — callers must keep the allocation
+    pass separate from any wall-clock timing pass (the perf gate does).
+    """
+    was_tracing = tracemalloc.is_tracing()
+    if not was_tracing:
+        tracemalloc.start()
+    tracemalloc.reset_peak()
+    base, _ = tracemalloc.get_traced_memory()
+    try:
+        result = fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        if not was_tracing:
+            tracemalloc.stop()
+    return result, max(0.0, (peak - base) / 1024.0)
 
 
 class EngineProfiler:

@@ -44,7 +44,7 @@ class ChannelListener:
         """
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class Transmission:
     """One in-flight frame."""
 
@@ -56,17 +56,28 @@ class Transmission:
     done: "Event | None" = None
 
 
-@dataclasses.dataclass(frozen=True)
 class TxOutcome:
-    """Result of a completed transmission, delivered to the sender."""
+    """Result of a completed transmission, delivered to the sender.
 
-    frame: typing.Any
-    collided: bool
-    bit_errors: bool
+    ``ok`` is precomputed at construction (it is read once per attached
+    listener on the hot path); treat instances as immutable.
+    """
 
-    @property
-    def ok(self) -> bool:
-        return not (self.collided or self.bit_errors)
+    __slots__ = ("frame", "collided", "bit_errors", "ok")
+
+    def __init__(
+        self, frame: typing.Any, collided: bool, bit_errors: bool
+    ) -> None:
+        self.frame = frame
+        self.collided = collided
+        self.bit_errors = bit_errors
+        self.ok = not (collided or bit_errors)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TxOutcome(frame={self.frame!r}, collided={self.collided}, "
+            f"bit_errors={self.bit_errors})"
+        )
 
 
 class Channel:
@@ -84,6 +95,17 @@ class Channel:
         self.sim = sim
         self.error_model = error_model
         self._listeners: list[ChannelListener] = []
+        #: immutable snapshots of ``_listeners``, rebuilt on attach/detach —
+        #: the hot path iterates these instead of copying the list per
+        #: frame; busy/idle carry pre-bound methods, the frame fan-out
+        #: carries (listener, bound on_frame) pairs so the sender can be
+        #: skipped by identity
+        self._fanout: tuple[ChannelListener, ...] = ()
+        self._fanout_busy: tuple = ()
+        self._fanout_idle: tuple = ()
+        self._fanout_frame: tuple = ()
+        #: pre-bound BER sampler (the model is fixed at construction)
+        self._survives = error_model.frame_survives
         self._active: list[Transmission] = []
         #: time the medium last became idle (for DIFS/PIFS deference)
         self.idle_since: float = sim.now
@@ -105,10 +127,19 @@ class Channel:
         if listener in self._listeners:
             raise ValueError("listener already attached")
         self._listeners.append(listener)
+        self._rebuild_fanout()
 
     def detach(self, listener: ChannelListener) -> None:
         """Remove a listener (e.g. a departing station)."""
         self._listeners.remove(listener)
+        self._rebuild_fanout()
+
+    def _rebuild_fanout(self) -> None:
+        listeners = self._listeners
+        self._fanout = tuple(listeners)
+        self._fanout_busy = tuple(l.on_medium_busy for l in listeners)
+        self._fanout_idle = tuple(l.on_medium_idle for l in listeners)
+        self._fanout_frame = tuple((l, l.on_frame) for l in listeners)
 
     # -- sensing ---------------------------------------------------------------
     @property
@@ -141,51 +172,51 @@ class Channel:
         """
         if duration <= 0:
             raise ValueError(f"transmission duration must be > 0, got {duration}")
-        now = self.sim.now
-        tx = Transmission(
-            frame=frame,
-            sender=sender,
-            start=now,
-            end=now + duration,
-            done=Event(self.sim),
-        )
-        if self._active:
+        sim = self.sim
+        now = sim._now
+        tx = Transmission(frame, sender, now, now + duration, False, Event(sim))
+        active = self._active
+        if active:
             # Overlap: everything currently in flight (and this frame)
             # is corrupted.
             tx.collided = True
-            for other in self._active:
+            for other in active:
                 other.collided = True
-        self._active.append(tx)
-        if len(self._active) == 1:
+        active.append(tx)
+        if len(active) == 1:
             self._busy_started = now
-            for listener in list(self._listeners):
-                listener.on_medium_busy(now)
-        self.sim.call_at(tx.end, self._finish, tx, priority=-1)
+            for on_busy in self._fanout_busy:
+                on_busy(now)
+        sim.call_at(tx.end, self._finish, tx, priority=-1)
         return tx.done
 
     def _finish(self, tx: Transmission) -> None:
-        now = self.sim.now
-        self._active.remove(tx)
+        now = self.sim._now
+        active = self._active
+        active.remove(tx)
+        frame = tx.frame
+        collided = tx.collided
         bit_errors = False
-        if not tx.collided:
-            frame_bits = getattr(tx.frame, "total_bits", 0)
-            bit_errors = not self.error_model.frame_survives(frame_bits)
+        if not collided:
+            frame_bits = getattr(frame, "total_bits", 0)
+            bit_errors = not self._survives(frame_bits)
             if not bit_errors and self.fault_injector is not None:
-                bit_errors = self.fault_injector.corrupts(tx.frame, now)
-        outcome = TxOutcome(frame=tx.frame, collided=tx.collided, bit_errors=bit_errors)
+                bit_errors = self.fault_injector.corrupts(frame, now)
+        outcome = TxOutcome(frame, collided, bit_errors)
+        ok = outcome.ok
         if self.trace is not None:
-            ftype = getattr(tx.frame, "ftype", None)
+            ftype = getattr(frame, "ftype", None)
             self.trace.emit(
                 now, "frame", "tx",
                 ftype=getattr(ftype, "value", ftype),
-                src=getattr(tx.frame, "src", None),
-                dest=getattr(tx.frame, "dest", None),
+                src=getattr(frame, "src", None),
+                dest=getattr(frame, "dest", None),
                 start=tx.start,
-                ok=outcome.ok,
-                collided=tx.collided,
+                ok=ok,
+                collided=collided,
                 bit_errors=bit_errors,
             )
-        if not self._active:
+        if not active:
             self.idle_since = now
             if self._busy_started is not None:
                 self.busy_time += now - self._busy_started
@@ -193,11 +224,12 @@ class Channel:
         # Deliver to receivers first, then complete the sender's event,
         # then announce idle — so receivers see the frame before anyone
         # reacts to the idle medium.
-        for listener in list(self._listeners):
-            if listener is not tx.sender:
-                listener.on_frame(tx.frame, outcome.ok, now)
+        sender = tx.sender
+        for listener, on_frame in self._fanout_frame:
+            if listener is not sender:
+                on_frame(frame, ok, now)
         assert tx.done is not None
         tx.done.succeed(outcome)
-        if not self._active:
-            for listener in list(self._listeners):
-                listener.on_medium_idle(now)
+        if not active:
+            for on_idle in self._fanout_idle:
+                on_idle(now)

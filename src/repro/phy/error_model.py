@@ -29,17 +29,27 @@ class BitErrorModel:
             raise ValueError(f"BER must be in [0, 1), got {ber}")
         self.ber = float(ber)
         self._rng = rng
+        #: frame_bits -> (1-BER)^L memo; the power is a pure function of
+        #: the (few, repeated) frame sizes a scenario puts on the air
+        self._p_success: dict[int, float] = {}
 
     def success_probability(self, frame_bits: int) -> float:
-        """``(1 - BER)^L`` for an ``L``-bit frame."""
+        """``(1 - BER)^L`` for an ``L``-bit frame (memoized per size)."""
         if frame_bits < 0:
             raise ValueError(f"negative frame size {frame_bits}")
         if self.ber == 0.0:
             return 1.0
-        return (1.0 - self.ber) ** frame_bits
+        p = self._p_success.get(frame_bits)
+        if p is None:
+            p = self._p_success[frame_bits] = (1.0 - self.ber) ** frame_bits
+        return p
 
     def frame_survives(self, frame_bits: int) -> bool:
-        """Sample whether one frame is delivered intact."""
+        """Sample whether one frame is delivered intact.
+
+        A noiseless channel consumes no random draw (and a noisy one
+        exactly one) — callers rely on this for reproducibility.
+        """
         if self.ber == 0.0:
             return True
         return bool(self._rng.random() < self.success_probability(frame_bits))

@@ -9,6 +9,7 @@ PLCP preamble+header sent at 1 Mb/s, and payloads at the channel rate.
 from __future__ import annotations
 
 import dataclasses
+import typing
 
 __all__ = ["PhyTiming"]
 
@@ -21,6 +22,13 @@ class PhyTiming:
     -----
     ``pifs`` and ``difs`` are derived per the standard
     (``SIFS + slot`` and ``SIFS + 2*slot``) unless overridden.
+
+    Because the bundle is immutable, every derived duration is a pure
+    function of its fields; :meth:`frame_duration` memoizes the airtime
+    of each ``(frame type, payload size)`` the simulation actually uses
+    so the hot path replaces float math with one dict lookup.  The memo
+    is identity-local (it never leaks between differently-parameterized
+    bundles) and excluded from equality/hashing.
     """
 
     #: payload channel bit rate (bits/second)
@@ -43,6 +51,50 @@ class PhyTiming:
     beacon_bits: int = 400
     #: one-way propagation delay (seconds); single-BSS, effectively 1 us
     prop_delay: float = 1e-6
+
+    def __post_init__(self) -> None:
+        # the frozen dataclass blocks normal attribute writes; the memo
+        # is not a field (it must not participate in eq/hash/repr)
+        object.__setattr__(self, "_duration_memo", {})
+
+    def frame_duration(
+        self, ftype: typing.Any, payload_bits: int = 0, extra_bits: int = 0
+    ) -> float:
+        """Memoized airtime of one MAC frame (see ``Frame.airtime``).
+
+        ``ftype`` is a :class:`~repro.mac.frames.FrameType` member (any
+        hashable key works); ``extra_bits`` carries the multipoll list
+        surcharge.  Results are cached per (ftype, payload, extra).
+        """
+        key = (ftype, payload_bits, extra_bits)
+        memo: dict = self._duration_memo  # type: ignore[attr-defined]
+        duration = memo.get(key)
+        if duration is None:
+            duration = memo[key] = self._compute_frame_duration(
+                ftype, payload_bits, extra_bits
+            )
+        return duration
+
+    def _compute_frame_duration(
+        self, ftype: typing.Any, payload_bits: int, extra_bits: int
+    ) -> float:
+        from ..mac.frames import _HEADER_BITS, _REQUEST_PAYLOAD_BITS, FrameType
+
+        if ftype is FrameType.ACK:
+            return self.ack_time()
+        if ftype is FrameType.RTS:
+            return self.plcp_time() + _HEADER_BITS[FrameType.RTS] / self.data_rate
+        if ftype is FrameType.CTS:
+            return self.plcp_time() + _HEADER_BITS[FrameType.CTS] / self.data_rate
+        if ftype is FrameType.BEACON:
+            return self.beacon_time()
+        if ftype is FrameType.CF_POLL or ftype is FrameType.CF_END:
+            return self.poll_time()
+        if ftype is FrameType.CF_MULTIPOLL:
+            return self.poll_time(extra_payload_bits=extra_bits)
+        if ftype is FrameType.REQUEST:
+            return self.frame_airtime(_REQUEST_PAYLOAD_BITS)
+        return self.frame_airtime(payload_bits)
 
     @property
     def pifs(self) -> float:

@@ -54,9 +54,19 @@ class Event:
 
     __slots__ = ("sim", "callbacks", "_state", "_value", "_ok")
 
+    #: events are never cancellable — the class-level flag lets the
+    #: engine's agenda loop test ``item.cancelled`` uniformly on timers
+    #: and events without an ``isinstance`` dispatch
+    cancelled = False
+    #: True only on engine-recycled Timeouts (see Process._wait_on)
+    _pooled = False
+
     def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
-        self.callbacks: list[typing.Callable[["Event"], None]] | None = []
+        pool = sim._cb_pool
+        self.callbacks: list[typing.Callable[["Event"], None]] | None = (
+            pool.pop() if pool else []
+        )
         self._state = PENDING
         self._value: typing.Any = None
         self._ok = True
@@ -134,9 +144,20 @@ class Event:
         """Run callbacks.  Called by the simulator core only."""
         callbacks, self.callbacks = self.callbacks, None
         self._state = PROCESSED
+        if callbacks is None:
+            return
         if callbacks:
             for fn in callbacks:
                 fn(self)
+            callbacks.clear()
+        # the detached list is dead — recycle it for the next event
+        pool = self.sim._cb_pool
+        if len(pool) < 256:
+            pool.append(callbacks)
+
+    #: the engine's uniform dispatch slot: firing an event means running
+    #: its callbacks (timers alias ``_fire`` to their callback instead)
+    _fire = _process
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} state={self._state} ok={self._ok}>"
@@ -158,7 +179,7 @@ class Timeout(Event):
         lower fires first.
     """
 
-    __slots__ = ("delay",)
+    __slots__ = ("delay", "_pooled")
 
     def __init__(
         self,
@@ -171,10 +192,30 @@ class Timeout(Event):
             raise ValueError(f"negative delay {delay!r}")
         super().__init__(sim)
         self.delay = delay
+        self._pooled = False
         self._ok = True
         self._value = value
         self._state = TRIGGERED
         sim._enqueue_at(sim.now + delay, priority, self)
+
+    def _reinit(self, delay: float) -> None:
+        """Re-arm a recycled engine-private timeout (free-list path).
+
+        Only :class:`~repro.sim.process.Process` numeric yields recycle
+        Timeouts, and only after the waiting process consumed the fire —
+        nothing else can hold a reference, so resetting in place is
+        unobservable.  User-created timeouts are never recycled.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        sim = self.sim
+        pool = sim._cb_pool
+        self.callbacks = pool.pop() if pool else []
+        self._state = TRIGGERED
+        self._ok = True
+        self._value = None
+        self.delay = delay
+        sim._enqueue_at(sim._now + delay, 0, self)
 
 
 class _Condition(Event):

@@ -93,7 +93,13 @@ class Process(Event):
             return  # stale wake-up from an interrupted wait
         self._waiting_on = None
         if event._ok:
-            self._step(event._value)
+            value = event._value
+            if event._pooled:
+                # engine-recycled numeric-yield timeout: its fire is
+                # consumed, nothing else can reach it — free-list it
+                # before stepping so the next numeric yield can reuse it
+                self.sim._release_timeout(event)  # type: ignore[arg-type]
+            self._step(value)
         else:
             self._step(event._value, throw=True)
 
@@ -117,7 +123,7 @@ class Process(Event):
         if isinstance(target, Event):
             event = target
         elif isinstance(target, (int, float)):
-            event = self.sim.timeout(target)
+            event = self.sim._acquire_timeout(target)
         else:
             err = TypeError(
                 f"process {self.name!r} yielded unwaitable {target!r}; "
