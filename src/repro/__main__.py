@@ -16,11 +16,18 @@ trace             run one scenario with tracing + profiling on; write
 bench             run the pinned-seed perf microbenchmarks and gate
                   them against the committed BENCH_KERNEL.json baseline
                   (``--update`` rewrites the baseline deliberately)
+ess               run a multi-BSS Extended Service Set: a microcell
+                  grid with roaming stations, AP-to-AP handoffs over
+                  node-disjoint backhaul paths (with failover under
+                  injected link faults), cross-BSS conservation
+                  invariants, and a JSON report of per-cell QoS,
+                  handoff-drop rate and backhaul failover counts
 
 Run with no command to see this help.
 
 Exit codes: 0 success; 1 failed validation claims / chaos gates /
-perf-gate regressions; 2 sweep points permanently failed after retries.
+perf-gate regressions / ESS conservation violations; 2 sweep points
+permanently failed after retries.
 """
 
 from __future__ import annotations
@@ -290,6 +297,94 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def _parse_link_fault(text: str):
+    """``A-B[:start[:end]]`` -> LinkFault (AP ids may contain ``/``)."""
+    from .faults import LinkFault
+
+    parts = text.split(":")
+    link, windows = parts[0], parts[1:]
+    if "-" not in link:
+        raise argparse.ArgumentTypeError(
+            f"link fault must look like ap/0x0-ap/0x1[:start[:end]], got {text!r}"
+        )
+    a, _, b = link.partition("-")
+    try:
+        start = float(windows[0]) if len(windows) > 0 else 0.0
+        end = float(windows[1]) if len(windows) > 1 else None
+        return LinkFault(a=a, b=b, start=start, end=end)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"bad link fault {text!r}: {exc}")
+
+
+def _cmd_ess(args: argparse.Namespace) -> int:
+    from .ess import EssConfig, run_ess, save_report
+    from .exec import SweepExecutionError
+
+    config = EssConfig(
+        rows=args.rows,
+        cols=args.cols,
+        seed=args.seed,
+        epochs=args.epochs,
+        epoch_length=args.epoch,
+        new_call_rate=args.new_rate,
+        mean_holding=args.holding,
+        mean_residence=args.residence,
+        mobility=args.mobility,
+        capacity=args.capacity,
+        overlap=args.overlap,
+        disjoint_paths=args.disjoint_paths,
+        backhaul_faults=tuple(args.fault or ()),
+        fidelity=args.fidelity,
+        frames_time=args.frames_time,
+        scheme=args.scheme,
+    )
+    executor = None
+    if config.fidelity == "frames":
+        executor = _sweep_executor(args)
+    try:
+        report = run_ess(config, executor=executor)
+    except SweepExecutionError as exc:
+        _print_failures(exc)
+        return 2
+    if executor is not None:
+        summary = executor.summary()
+        print(
+            "  frames tier: {total_points} cell-epochs, {executed} simulated, "
+            "{cache_hits} cached in {wall_time:.1f}s (workers={workers})".format(
+                **summary
+            ),
+            file=sys.stderr,
+        )
+    out = args.out or ".repro-cache/ess-report.json"
+    path = save_report(report, out)
+    print(f"  ESS report written to {path}", file=sys.stderr)
+    totals = report["totals"]
+    backhaul = report["backhaul"]
+    grid = f"{config.rows}x{config.cols}"
+    print(f"ESS {grid}, {config.epochs} epochs x {config.epoch_length}s "
+          f"({config.fidelity} fidelity, seed {config.seed})")
+    print(f"  calls: created={totals['created']} "
+          f"completed={totals['completed']} blocked={totals['blocked']} "
+          f"resident={totals['resident_final']} "
+          f"in-transit={totals['in_transit_final']}")
+    print(f"  handoffs: attempts={totals['handoff_attempts']} "
+          f"dropped-admission={totals['dropped_admission']} "
+          f"dropped-backhaul={totals['dropped_backhaul']} "
+          f"drop-rate={totals['handoff_drop_rate']:.3%}")
+    print(f"  backhaul: routed={backhaul['routed']} "
+          f"failovers={backhaul['failovers']} "
+          f"unroutable={backhaul['unroutable']} "
+          f"faulted-links={backhaul['faulted_links']}")
+    conservation = report["conservation"]
+    if report["passed"]:
+        print(f"  conservation: OK over {conservation['epochs_checked']} epochs")
+        return 0
+    print(f"  conservation: {len(conservation['violations'])} violation(s)")
+    for message in conservation["violations"][:10]:
+        print(f"    {message}")
+    return 1
+
+
 def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
@@ -409,6 +504,69 @@ def main(argv: list[str] | None = None) -> int:
     trace.add_argument("--out-dir", default=".repro-cache/trace",
                        help="directory for trace.jsonl and metrics.json")
 
+    ess = sub.add_parser(
+        "ess",
+        help="run a multi-BSS ESS grid with roaming + disjoint-path "
+             "backhaul; emit a JSON report",
+    )
+    ess.add_argument("--rows", type=_positive_int, default=3,
+                     help="grid rows (default: 3)")
+    ess.add_argument("--cols", type=_positive_int, default=3,
+                     help="grid columns (default: 3)")
+    ess.add_argument("--seed", type=int, default=1)
+    ess.add_argument("--epochs", type=_positive_int, default=8,
+                     help="number of sharded epochs (default: 8)")
+    ess.add_argument("--epoch", type=float, default=30.0,
+                     help="epoch length in sim seconds (default: 30)")
+    ess.add_argument("--new-rate", type=float, default=0.08,
+                     help="fresh-call arrival rate per kind per cell "
+                          "(calls/s, default: 0.08)")
+    ess.add_argument("--holding", type=float, default=60.0,
+                     help="mean call holding time in s (default: 60)")
+    ess.add_argument("--residence", type=float, default=45.0,
+                     help="mean cell residence time in s (default: 45)")
+    ess.add_argument("--mobility", type=float, default=1.0,
+                     help="mobility intensity: scales 1/residence "
+                          "(default: 1.0)")
+    ess.add_argument("--capacity", type=_positive_int, default=12,
+                     help="per-cell admitted-call capacity (default: 12)")
+    ess.add_argument("--overlap", type=float, default=0.25,
+                     help="cell-overlap guard fraction in [0,1]: handoffs "
+                          "may use capacity*(1+overlap) (default: 0.25)")
+    ess.add_argument("--disjoint-paths", type=_positive_int, default=2,
+                     help="node-disjoint backhaul paths per AP pair "
+                          "(default: 2)")
+    ess.add_argument("--fault", action="append", type=_parse_link_fault,
+                     metavar="A-B[:START[:END]]",
+                     help="fault a backhaul link, e.g. ap/1x0-ap/1x1 or "
+                          "ap/0x0-ap/0x1:10:50 (repeatable)")
+    ess.add_argument("--fidelity", default="calls",
+                     choices=["calls", "frames"],
+                     help="calls: call-level cells only; frames: also run "
+                          "per-cell-epoch frame-level BSS shards through "
+                          "the sweep executor (default: calls)")
+    ess.add_argument("--frames-time", type=float, default=8.0,
+                     help="sim seconds per frame-level cell shard "
+                          "(frames fidelity only, default: 8)")
+    ess.add_argument("--scheme", default="proposed",
+                     choices=["proposed", "proposed-multipoll", "conventional"],
+                     help="MAC scheme for frame-level shards")
+    ess.add_argument("--workers", type=_positive_int, default=1,
+                     help="process-pool size for frames fidelity")
+    ess.add_argument("--resume", action="store_true",
+                     help="skip shards already in the checkpoint journal")
+    ess.add_argument("--no-cache", action="store_true",
+                     help="disable the content-addressed result cache")
+    ess.add_argument("--cache-dir", default=".repro-cache",
+                     help="result cache directory (default: .repro-cache)")
+    ess.add_argument("--journal", default=".repro-cache/ess-journal.jsonl",
+                     help="checkpoint journal path (JSON-lines)")
+    ess.add_argument("--timeout", type=float, default=None,
+                     help="per-shard wall-clock budget in s (pool mode)")
+    ess.add_argument("--out", default=None,
+                     help="JSON report path (default: "
+                          ".repro-cache/ess-report.json)")
+
     # the bench gate owns its full flag set (it is also reachable as
     # ``benchmarks/perf_gate.py``); argparse's REMAINDER cannot forward
     # leading optionals through a subparser, so dispatch before parsing
@@ -435,6 +593,7 @@ def main(argv: list[str] | None = None) -> int:
         "validate": _cmd_validate,
         "chaos": _cmd_chaos,
         "trace": _cmd_trace,
+        "ess": _cmd_ess,
     }
     return handlers[args.command](args)
 

@@ -1,0 +1,268 @@
+"""Call-level dynamics of one ESS microcell.
+
+Each cell owns its resident calls outright — a station belongs to
+exactly one BSS at any instant, the invariant the cross-BSS
+conservation checks lean on.  A cell advances epoch by epoch through
+its own event heap:
+
+* **new calls** arrive Poisson per traffic class and are admitted
+  while occupancy is below ``capacity`` (else *blocked*);
+* **admitted calls** dwell via the shared
+  :func:`~repro.network.mobility.draw_roam_step` race — the call
+  either *completes* in this cell or survives the dwell and departs
+  toward a geometric neighbour (*handoff out*);
+* **inbound handoffs** (delivered by the coordinator after backhaul
+  routing) are admitted up to ``handoff_capacity`` — the overlap
+  region between adjacent microcells gives roamers a grace margin new
+  calls don't get (``handoff_capacity >= capacity``);
+* a handoff refused for capacity is a *handoff admission drop*
+  (distinct from a *backhaul drop*, which the router accounts).
+
+All draws come from cell-named :class:`~repro.sim.rng.RandomStreams`
+streams and every heap tie breaks on a monotone sequence number, so a
+cell's trajectory is a pure function of ``(master seed, cell id,
+inbound schedule)`` — which is what lets the coordinator shard cells
+across processes and still reproduce the serial run bit for bit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import itertools
+import typing
+
+from ..network.mobility import ROAM_KINDS, draw_roam_step
+from ..sim.rng import RandomStreams
+
+__all__ = ["RoamingCall", "HandoffDeparture", "CellConfig", "Cell"]
+
+
+@dataclasses.dataclass(frozen=True)
+class RoamingCall:
+    """Identity of one call as it moves through the ESS."""
+
+    call_id: int
+    kind: str
+    #: cell that admitted the call into the ESS
+    born_in: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in ROAM_KINDS:
+            raise ValueError(
+                f"kind must be one of {ROAM_KINDS}, got {self.kind!r}"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class HandoffDeparture:
+    """A call leaving ``src`` toward ``dst`` at ``time`` (pre-routing)."""
+
+    time: float
+    call: RoamingCall
+    src: str
+    dst: str
+
+
+@dataclasses.dataclass(frozen=True)
+class CellConfig:
+    """Per-cell call dynamics (shared by every cell of a uniform grid)."""
+
+    #: fresh-call arrival rate per traffic class (calls/s)
+    new_call_rate: float = 0.08
+    mean_holding: float = 60.0
+    mean_residence: float = 45.0
+    #: concurrent-call admission limit for new calls
+    capacity: int = 12
+    #: admission limit for inbound handoffs (>= capacity; the excess
+    #: models the microcell overlap region roamers may linger in)
+    handoff_capacity: int = 12
+
+    def __post_init__(self) -> None:
+        if self.new_call_rate < 0:
+            raise ValueError(
+                f"new_call_rate must be >= 0, got {self.new_call_rate}"
+            )
+        if self.mean_holding <= 0:
+            raise ValueError(
+                f"mean_holding must be > 0, got {self.mean_holding}"
+            )
+        if self.mean_residence <= 0:
+            raise ValueError(
+                f"mean_residence must be > 0, got {self.mean_residence}"
+            )
+        if self.capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {self.capacity}")
+        if self.handoff_capacity < self.capacity:
+            raise ValueError(
+                "handoff_capacity must be >= capacity, got "
+                f"{self.handoff_capacity} < {self.capacity}"
+            )
+
+
+class Cell:
+    """One microcell's call population and epoch-stepped event heap."""
+
+    def __init__(
+        self,
+        cell_id: str,
+        neighbors: typing.Sequence[str],
+        config: CellConfig,
+        streams: RandomStreams,
+        call_ids: typing.Iterator[int],
+    ) -> None:
+        if not neighbors:
+            raise ValueError(f"cell {cell_id!r} needs at least one neighbour")
+        self.cell_id = cell_id
+        self.neighbors = tuple(sorted(neighbors))
+        self.config = config
+        self._call_ids = call_ids
+        self._roam_rng = streams.get(f"ess/{cell_id}/roam")
+        self._arrival_rng = {
+            kind: streams.get(f"ess/{cell_id}/arrivals/{kind}")
+            for kind in ROAM_KINDS
+        }
+        #: next fresh-arrival time per class (absolute ESS time)
+        self._next_arrival = {kind: 0.0 for kind in ROAM_KINDS}
+        self._primed = {kind: False for kind in ROAM_KINDS}
+        self.resident: dict[int, RoamingCall] = {}
+        self._heap: list[tuple[float, int, str, RoamingCall]] = []
+        self._seq = itertools.count()
+        # -- per-cell ledger ------------------------------------------------
+        self.attempts_new = 0
+        self.admitted_new = 0
+        self.blocked = 0
+        self.completed = 0
+        self.handoff_in = 0
+        self.handoff_in_admitted = 0
+        self.handoff_dropped_admission = 0
+        self.handoff_out = 0
+        # occupancy time-integral for mean-occupancy reporting
+        self._occ_time = 0.0
+        self._occ_last_t = 0.0
+
+    # -- occupancy bookkeeping ---------------------------------------------
+    @property
+    def occupancy(self) -> int:
+        return len(self.resident)
+
+    def _occ_advance(self, now: float) -> None:
+        self._occ_time += self.occupancy * (now - self._occ_last_t)
+        self._occ_last_t = now
+
+    def mean_occupancy(self, horizon: float) -> float:
+        return self._occ_time / horizon if horizon > 0 else 0.0
+
+    # -- inbound -----------------------------------------------------------
+    def deliver_handoff(self, time: float, call: RoamingCall) -> None:
+        """Coordinator delivers a routed inbound handoff arrival."""
+        heapq.heappush(self._heap, (time, next(self._seq), "handoff", call))
+
+    # -- the epoch step ----------------------------------------------------
+    def advance(self, t0: float, t1: float) -> list[HandoffDeparture]:
+        """Process everything in ``[t0, t1)``; return outbound handoffs.
+
+        Fresh arrivals are generated lazily from the per-class streams,
+        already-scheduled dwell-ends and delivered handoffs come off the
+        heap; everything is handled in (time, sequence) order.
+        """
+        if t1 <= t0:
+            raise ValueError(f"need t1 > t0, got [{t0}, {t1})")
+        self._prime_arrivals(t0)
+        departures: list[HandoffDeparture] = []
+        while True:
+            arr_kind = min(ROAM_KINDS, key=lambda k: self._next_arrival[k])
+            arr_time = self._next_arrival[arr_kind]
+            head_time = self._heap[0][0] if self._heap else float("inf")
+            if arr_time < t1 and arr_time <= head_time:
+                # ties go to the fresh arrival (deterministic either way)
+                self._fresh_arrival(arr_kind, arr_time)
+                continue
+            if head_time >= t1:
+                break
+            time, _, action, call = heapq.heappop(self._heap)
+            self._occ_advance(time)
+            if action == "handoff":
+                self._admit_handoff(time, call)
+            elif action == "complete":
+                self._complete(call)
+            else:  # "depart"
+                departures.append(self._depart(time, call))
+        self._occ_advance(t1)
+        return departures
+
+    # -- event handlers ----------------------------------------------------
+    def _prime_arrivals(self, t0: float) -> None:
+        rate = self.config.new_call_rate
+        for kind in ROAM_KINDS:
+            if not self._primed[kind]:
+                self._primed[kind] = True
+                if rate <= 0:
+                    self._next_arrival[kind] = float("inf")
+                else:
+                    self._next_arrival[kind] = t0 + float(
+                        self._arrival_rng[kind].exponential(1.0 / rate)
+                    )
+
+    def _fresh_arrival(self, kind: str, now: float) -> None:
+        rate = self.config.new_call_rate
+        self._next_arrival[kind] = now + float(
+            self._arrival_rng[kind].exponential(1.0 / rate)
+        )
+        self._occ_advance(now)
+        self.attempts_new += 1
+        if self.occupancy >= self.config.capacity:
+            self.blocked += 1
+            return
+        call = RoamingCall(next(self._call_ids), kind, self.cell_id)
+        self.admitted_new += 1
+        self._admit(now, call)
+
+    def _admit_handoff(self, now: float, call: RoamingCall) -> None:
+        self.handoff_in += 1
+        if self.occupancy >= self.config.handoff_capacity:
+            self.handoff_dropped_admission += 1
+            return
+        self.handoff_in_admitted += 1
+        self._admit(now, call)
+
+    def _admit(self, now: float, call: RoamingCall) -> None:
+        self.resident[call.call_id] = call
+        dwell, call_ends = draw_roam_step(
+            self._roam_rng, self.config.mean_holding, self.config.mean_residence
+        )
+        action = "complete" if call_ends else "depart"
+        heapq.heappush(
+            self._heap, (now + dwell, next(self._seq), action, call)
+        )
+
+    def _complete(self, call: RoamingCall) -> None:
+        del self.resident[call.call_id]
+        self.completed += 1
+
+    def _depart(self, now: float, call: RoamingCall) -> HandoffDeparture:
+        del self.resident[call.call_id]
+        self.handoff_out += 1
+        target = self.neighbors[
+            int(self._roam_rng.integers(len(self.neighbors)))
+        ]
+        return HandoffDeparture(now, call, self.cell_id, target)
+
+    # -- reporting ---------------------------------------------------------
+    def ledger(self, horizon: float) -> dict[str, typing.Any]:
+        """Per-cell summary; inputs to the conservation checks."""
+        return {
+            "attempts_new": self.attempts_new,
+            "admitted_new": self.admitted_new,
+            "blocked": self.blocked,
+            "completed": self.completed,
+            "handoff_in": self.handoff_in,
+            "handoff_in_admitted": self.handoff_in_admitted,
+            "handoff_dropped_admission": self.handoff_dropped_admission,
+            "handoff_out": self.handoff_out,
+            "resident": self.occupancy,
+            "mean_occupancy": self.mean_occupancy(horizon),
+            "blocking_rate": (
+                self.blocked / self.attempts_new if self.attempts_new else 0.0
+            ),
+        }

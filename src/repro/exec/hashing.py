@@ -28,8 +28,10 @@ __all__ = ["KEY_FORMAT", "jsonable", "canonical_json", "normalize_row", "config_
 #:  3: ScenarioConfig grew the faults FaultPlan field and faulted rows
 #:  carry a degradation sub-dict;
 #:  4: ScenarioConfig grew the trace TraceConfig field and traced rows
-#:  carry an obs sub-dict)
-KEY_FORMAT = 4
+#:  carry an obs sub-dict;
+#:  5: ScenarioConfig grew the ess EssCellContext field and ESS cell
+#:  shards carry an ess sub-dict)
+KEY_FORMAT = 5
 
 
 def jsonable(value: typing.Any) -> typing.Any:

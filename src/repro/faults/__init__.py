@@ -31,6 +31,7 @@ from .plan import (
     FaultPlan,
     FrameLossRule,
     GilbertElliottParams,
+    LinkFault,
     StationFault,
 )
 from .stations import StationFaultDriver
@@ -40,6 +41,7 @@ __all__ = [
     "GilbertElliottParams",
     "FrameLossRule",
     "StationFault",
+    "LinkFault",
     "FAULT_MODES",
     "FAULT_KINDS",
     "GilbertElliottModel",

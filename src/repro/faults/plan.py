@@ -34,6 +34,7 @@ __all__ = [
     "GilbertElliottParams",
     "FrameLossRule",
     "StationFault",
+    "LinkFault",
     "FaultPlan",
     "FAULT_MODES",
     "FAULT_KINDS",
@@ -137,6 +138,45 @@ class StationFault:
             raise ValueError(
                 f"kind must be one of {FAULT_KINDS}, got {self.kind!r}"
             )
+
+
+@dataclasses.dataclass(frozen=True)
+class LinkFault:
+    """One backhaul-link outage window in an ESS topology.
+
+    ``a`` and ``b`` name the APs the faulted link connects (order is
+    irrelevant — the link is undirected).  The link is down from
+    ``start`` until ``end`` (``None`` = for the rest of the run).
+    While it is down, handoff signalling that would cross it fails
+    over to the node-disjoint alternate path
+    (:class:`~repro.ess.routing.BackhaulRouter`); consumed by the ESS
+    coordinator, not by the single-BSS injectors above.
+    """
+
+    a: str
+    b: str
+    start: float = 0.0
+    end: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.a or not self.b:
+            raise ValueError("link endpoints must be non-empty AP ids")
+        if self.a == self.b:
+            raise ValueError(f"link endpoints must differ, got {self.a!r}")
+        if self.start < 0.0:
+            raise ValueError(f"start must be >= 0, got {self.start}")
+        if self.end is not None and self.end <= self.start:
+            raise ValueError(
+                f"need end > start, got [{self.start}, {self.end})"
+            )
+
+    def key(self) -> tuple[str, str]:
+        """Canonical undirected link identity."""
+        return (self.a, self.b) if self.a <= self.b else (self.b, self.a)
+
+    def active_during(self, t0: float, t1: float) -> bool:
+        """Does the outage overlap the ``[t0, t1)`` window?"""
+        return self.start < t1 and (self.end is None or self.end > t0)
 
 
 @dataclasses.dataclass(frozen=True)

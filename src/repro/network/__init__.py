@@ -2,7 +2,13 @@
 
 from .bss import RT_PACKET_BITS, SCHEMES, BssScenario, ScenarioConfig
 from .calls import ActiveCall, CallGenerator, CallMixConfig
-from .mobility import NeighborhoodConfig, NeighborhoodMobility
+from .mobility import (
+    ROAM_KINDS,
+    EssCellContext,
+    NeighborhoodConfig,
+    NeighborhoodMobility,
+    draw_roam_step,
+)
 
 __all__ = [
     "CallGenerator",
@@ -14,4 +20,7 @@ __all__ = [
     "RT_PACKET_BITS",
     "NeighborhoodConfig",
     "NeighborhoodMobility",
+    "EssCellContext",
+    "draw_roam_step",
+    "ROAM_KINDS",
 ]

@@ -38,10 +38,12 @@ from ..phy.error_model import BitErrorModel
 from ..phy.timing import PhyTiming
 from ..sim.engine import Simulator
 from ..sim.rng import RandomStreams
+from ..traffic.base import TrafficKind
 from ..traffic.data import PoissonDataSource
 from ..traffic.video import VideoParams
 from ..traffic.voice import VoiceParams
 from .calls import CallGenerator, CallMixConfig
+from .mobility import EssCellContext
 
 __all__ = ["ScenarioConfig", "BssScenario", "SCHEMES"]
 
@@ -106,6 +108,12 @@ class ScenarioConfig:
     #: seed's.  Any config — even all-categories — only *adds* an
     #: ``obs`` sub-dict to the results
     trace: TraceConfig | None = None
+    #: ESS cell context (repro.ess).  None (the default) keeps the
+    #: scenario a plain single BSS, byte-identical to the seed's; a
+    #: context schedules the backhaul-routed inbound handoffs of one
+    #: (cell, epoch) shard at their offsets and adds an ``ess``
+    #: sub-dict to the results
+    ess: "EssCellContext | None" = None
     #: priority partition of the contention window (paper Table I)
     alphas: tuple[int, ...] = (4, 4, 8)
     beta: int = 0
@@ -135,6 +143,7 @@ class ScenarioConfig:
         # JSON-stable (list-based) form
         d["faults"] = self.faults.to_dict() if self.faults is not None else None
         d["trace"] = self.trace.to_dict() if self.trace is not None else None
+        d["ess"] = self.ess.to_dict() if self.ess is not None else None
         return d
 
     @classmethod
@@ -151,6 +160,8 @@ class ScenarioConfig:
             d["faults"] = FaultPlan.from_dict(d["faults"])
         if isinstance(d.get("trace"), typing.Mapping):
             d["trace"] = TraceConfig.from_dict(d["trace"])
+        if isinstance(d.get("ess"), typing.Mapping):
+            d["ess"] = EssCellContext.from_dict(d["ess"])
         return cls(**d)
 
     def offered_load_bps(self) -> float:
@@ -290,11 +301,22 @@ class BssScenario:
             self.mobility = NeighborhoodMobility(
                 self.sim, self.call_generator, self.streams, ncfg
             )
+        #: fired count of the ESS context's scheduled inbound handoffs
+        self._ess_handoffs_injected = 0
+        if config.ess is not None:
+            for offset, kind in config.ess.handoff_arrivals:
+                self.sim.call_in(
+                    offset, self._inject_ess_handoff, TrafficKind(kind)
+                )
         if self.trace is not None:
             self._wire_trace(self.trace)
         # utilization-window bookkeeping for the adaptation feedback
         self._last_busy = 0.0
         self._last_feedback_time = 0.0
+
+    def _inject_ess_handoff(self, kind: TrafficKind) -> None:
+        self._ess_handoffs_injected += 1
+        self.call_generator.inject_handoff(kind)
 
     def _wire_trace(self, trace) -> None:
         """Hand the recorder to each instrumented component whose
@@ -508,6 +530,15 @@ class BssScenario:
         if cfg.faults is not None:
             # after finalize, so the QoS-breach degradation is included
             results["faults"] = self._fault_summary()
+        if cfg.ess is not None:
+            # only present on ESS cell shards, so single-BSS rows stay
+            # byte-identical to the seed's
+            results["ess"] = {
+                "cell": cfg.ess.cell,
+                "epoch": cfg.ess.epoch,
+                "handoffs_scheduled": len(cfg.ess.handoff_arrivals),
+                "handoffs_injected": self._ess_handoffs_injected,
+            }
         if self.trace is not None:
             # only present on traced configs, so trace-free result rows
             # stay byte-identical to the seed's

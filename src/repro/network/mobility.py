@@ -24,7 +24,108 @@ from ..sim.engine import Simulator
 from ..sim.rng import RandomStreams
 from ..traffic.base import TrafficKind
 
-__all__ = ["NeighborhoodConfig", "NeighborhoodMobility"]
+__all__ = [
+    "NeighborhoodConfig",
+    "NeighborhoodMobility",
+    "EssCellContext",
+    "draw_roam_step",
+    "ROAM_KINDS",
+]
+
+#: traffic classes that roam between cells (data stations are fixed)
+ROAM_KINDS = ("voice", "video")
+
+
+def draw_roam_step(
+    rng, mean_holding: float, mean_residence: float
+) -> tuple[float, bool]:
+    """One dwell of a call's life in a cell: ``(dwell, call_ends)``.
+
+    Races the exponential remaining-holding clock against the
+    exponential cell-residence clock (both memoryless, so drawing them
+    fresh each dwell is exact).  ``call_ends`` is True when the call
+    completes during this dwell; False means it survives the dwell and
+    hands off to a neighbouring cell.  Shared by the single-observed-
+    cell :class:`NeighborhoodMobility` and the ESS-wide cell model
+    (:mod:`repro.ess.cells`), so both layers reproduce the same
+    per-call dynamics.
+    """
+    holding = rng.exponential(mean_holding)
+    residence = rng.exponential(mean_residence)
+    if holding <= residence:
+        return float(holding), True
+    return float(residence), False
+
+
+@dataclasses.dataclass(frozen=True)
+class EssCellContext:
+    """One cell-epoch's ESS context, riding in ``ScenarioConfig.ess``.
+
+    When the ESS coordinator shards its grid across the executor, each
+    per-cell frame-level run carries this context: which cell it is,
+    which sharding epoch, and the handoff arrivals the backhaul routed
+    *into* the cell during the epoch (offsets are sim-seconds from the
+    start of the cell's run).  The BSS
+    injects those arrivals at their offsets through the call
+    generator's :meth:`~repro.network.calls.CallGenerator.inject_handoff`
+    — deterministic scheduled handoffs replacing the synthetic Poisson
+    stream.  ``ess=None`` configs behave (and hash) exactly like
+    single-BSS scenarios.
+    """
+
+    cell: str
+    epoch: int = 0
+    #: absolute ESS-time at which this epoch starts (informational —
+    #: part of the point's identity so epochs cache separately)
+    epoch_start: float = 0.0
+    #: routed inbound handoffs: (offset into the run, kind) pairs
+    handoff_arrivals: tuple[tuple[float, str], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.cell:
+            raise ValueError("cell must be a non-empty id")
+        if self.epoch < 0:
+            raise ValueError(f"epoch must be >= 0, got {self.epoch}")
+        if self.epoch_start < 0:
+            raise ValueError(
+                f"epoch_start must be >= 0, got {self.epoch_start}"
+            )
+        arrivals = tuple(
+            (float(offset), str(kind)) for offset, kind in self.handoff_arrivals
+        )
+        object.__setattr__(self, "handoff_arrivals", arrivals)
+        for offset, kind in arrivals:
+            if offset < 0:
+                raise ValueError(
+                    f"handoff arrival offset must be >= 0, got {offset}"
+                )
+            if kind not in ROAM_KINDS:
+                raise ValueError(
+                    f"handoff kind must be one of {ROAM_KINDS}, got {kind!r}"
+                )
+
+    def to_dict(self) -> dict[str, typing.Any]:
+        """JSON-stable form (tuples become lists)."""
+        return {
+            "cell": self.cell,
+            "epoch": self.epoch,
+            "epoch_start": self.epoch_start,
+            "handoff_arrivals": [
+                [offset, kind] for offset, kind in self.handoff_arrivals
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: typing.Mapping[str, typing.Any]) -> "EssCellContext":
+        return cls(
+            cell=data["cell"],
+            epoch=data.get("epoch", 0),
+            epoch_start=data.get("epoch_start", 0.0),
+            handoff_arrivals=tuple(
+                (offset, kind)
+                for offset, kind in data.get("handoff_arrivals", ())
+            ),
+        )
 
 
 class HandoffSink(typing.Protocol):
@@ -63,9 +164,17 @@ class NeighborhoodConfig:
         if self.cells < 1:
             raise ValueError(f"cells must be >= 1, got {self.cells}")
         if self.new_call_rate < 0:
-            raise ValueError("new_call_rate must be >= 0")
-        if self.mean_holding <= 0 or self.mean_residence <= 0:
-            raise ValueError("mean_holding/mean_residence must be > 0")
+            raise ValueError(
+                f"new_call_rate must be >= 0, got {self.new_call_rate}"
+            )
+        if self.mean_holding <= 0:
+            raise ValueError(
+                f"mean_holding must be > 0, got {self.mean_holding}"
+            )
+        if self.mean_residence <= 0:
+            raise ValueError(
+                f"mean_residence must be > 0, got {self.mean_residence}"
+            )
         if self.directions < 1:
             raise ValueError(f"directions must be >= 1, got {self.directions}")
 
@@ -160,13 +269,13 @@ class NeighborhoodMobility:
         """One call's life in the neighbourhood."""
         cfg = self.config
         while True:
-            holding = self._rng.exponential(cfg.mean_holding)
-            residence = self._rng.exponential(cfg.mean_residence)
-            if holding <= residence:
-                yield holding
+            dwell, call_ends = draw_roam_step(
+                self._rng, cfg.mean_holding, cfg.mean_residence
+            )
+            yield dwell
+            if call_ends:
                 self.population[kind] -= 1
                 return  # call ended inside the neighbourhood
-            yield residence
             if self._rng.random() < 1.0 / cfg.directions:
                 # crosses into the observed cell
                 self.population[kind] -= 1

@@ -25,6 +25,11 @@ fails CI instead of shipping:
   verdict report per claim.
 """
 
+from .ess import (
+    EssLedgerSnapshot,
+    cell_ledger_violations,
+    conservation_violations,
+)
 from .invariants import InvariantSuite, Violation
 from .runner import TIERS, TierSpec, ValidationReport, run_validation, validation_grid
 from .shapes import ClaimResult, ShapeThresholds, evaluate_claims
@@ -41,6 +46,9 @@ from .stats import (
 __all__ = [
     "InvariantSuite",
     "Violation",
+    "EssLedgerSnapshot",
+    "conservation_violations",
+    "cell_ledger_violations",
     "TIERS",
     "TierSpec",
     "ValidationReport",

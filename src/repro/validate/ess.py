@@ -1,0 +1,124 @@
+"""Cross-BSS conservation invariants for the ESS layer.
+
+The single-BSS invariant monitors (:mod:`repro.validate.invariants`)
+gate one cell's internals; the ESS coordinator needs the *global*
+ledger to balance across cells and across the backhaul: every call
+admitted anywhere in the ESS is, at any epoch boundary, in exactly one
+of five states — completed, dropped at handoff admission, dropped by an
+unroutable backhaul, resident in some cell, or in transit between two
+cells.  Blocked new calls never enter the ledger (they were never
+admitted).
+
+Violations are rendered as strings (same convention as
+:class:`~repro.validate.invariants.Violation`) so the ESS report can
+embed them directly and the CLI can gate its exit code on the list
+being empty.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+__all__ = [
+    "EssLedgerSnapshot",
+    "conservation_violations",
+    "cell_ledger_violations",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class EssLedgerSnapshot:
+    """The global call ledger at one epoch boundary."""
+
+    epoch: int
+    #: calls admitted into the ESS anywhere (new-call admissions)
+    created: int
+    completed: int
+    #: handoffs refused at the target cell for capacity
+    dropped_admission: int
+    #: handoffs with every disjoint backhaul path faulted
+    dropped_backhaul: int
+    #: calls currently owned by some cell
+    resident: int
+    #: routed handoffs not yet processed by their target cell
+    in_transit: int
+
+    @property
+    def dropped_total(self) -> int:
+        return self.dropped_admission + self.dropped_backhaul
+
+    def violation(self) -> str | None:
+        """``created = completed + dropped + resident + in_transit``."""
+        accounted = (
+            self.completed
+            + self.dropped_total
+            + self.resident
+            + self.in_transit
+        )
+        if self.created != accounted:
+            return (
+                f"epoch {self.epoch}: conservation broken: "
+                f"created={self.created} != completed={self.completed} "
+                f"+ dropped_admission={self.dropped_admission} "
+                f"+ dropped_backhaul={self.dropped_backhaul} "
+                f"+ resident={self.resident} + in_transit={self.in_transit} "
+                f"(= {accounted})"
+            )
+        if min(
+            self.created,
+            self.completed,
+            self.dropped_admission,
+            self.dropped_backhaul,
+            self.resident,
+            self.in_transit,
+        ) < 0:
+            return f"epoch {self.epoch}: negative ledger term: {self}"
+        return None
+
+
+def conservation_violations(
+    snapshots: typing.Iterable[EssLedgerSnapshot],
+) -> list[str]:
+    """Every epoch-boundary violation, chronologically."""
+    out = []
+    for snap in snapshots:
+        message = snap.violation()
+        if message is not None:
+            out.append(message)
+    return out
+
+
+def cell_ledger_violations(
+    cell_id: str, ledger: typing.Mapping[str, typing.Any]
+) -> list[str]:
+    """One cell's flow balance, from :meth:`repro.ess.cells.Cell.ledger`.
+
+    Calls entering a cell (new admissions + admitted inbound handoffs)
+    must equal calls that left it (completed + handed off) plus calls
+    still resident; attempts must split exactly into admitted/refused.
+    """
+    out = []
+    inflow = ledger["admitted_new"] + ledger["handoff_in_admitted"]
+    outflow = ledger["completed"] + ledger["handoff_out"] + ledger["resident"]
+    if inflow != outflow:
+        out.append(
+            f"cell {cell_id}: flow imbalance: in={inflow} != out={outflow}"
+        )
+    if ledger["attempts_new"] != ledger["admitted_new"] + ledger["blocked"]:
+        out.append(
+            f"cell {cell_id}: new-call attempts do not split into "
+            f"admitted + blocked: {ledger['attempts_new']} != "
+            f"{ledger['admitted_new']} + {ledger['blocked']}"
+        )
+    if (
+        ledger["handoff_in"]
+        != ledger["handoff_in_admitted"] + ledger["handoff_dropped_admission"]
+    ):
+        out.append(
+            f"cell {cell_id}: inbound handoffs do not split into "
+            f"admitted + dropped: {ledger['handoff_in']} != "
+            f"{ledger['handoff_in_admitted']} + "
+            f"{ledger['handoff_dropped_admission']}"
+        )
+    return out

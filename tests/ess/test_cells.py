@@ -1,0 +1,120 @@
+"""One microcell's call dynamics: admission, roaming, ledger balance."""
+
+import itertools
+
+import pytest
+
+from repro.ess import Cell, CellConfig, RoamingCall
+from repro.sim import RandomStreams
+from repro.validate import cell_ledger_violations
+
+
+def make_cell(cell_id="ap/0x0", neighbors=("ap/0x1", "ap/1x0"), seed=1,
+              ids=None, **cfg_kw):
+    config = CellConfig(**cfg_kw)
+    ids = ids if ids is not None else itertools.count(1)
+    return Cell(cell_id, neighbors, config, RandomStreams(seed), ids)
+
+
+def run_epochs(cell, epochs=6, epoch_length=20.0):
+    departures = []
+    for e in range(epochs):
+        departures.extend(
+            cell.advance(e * epoch_length, (e + 1) * epoch_length)
+        )
+    return departures
+
+
+class TestCellConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CellConfig(new_call_rate=-0.1)
+        with pytest.raises(ValueError):
+            CellConfig(mean_holding=0)
+        with pytest.raises(ValueError):
+            CellConfig(mean_residence=-1)
+        with pytest.raises(ValueError):
+            CellConfig(capacity=0)
+        with pytest.raises(ValueError):
+            CellConfig(capacity=10, handoff_capacity=9)
+
+
+class TestRoamingCall:
+    def test_kind_validated(self):
+        with pytest.raises(ValueError):
+            RoamingCall(1, "data", "ap/0x0")
+
+
+class TestCell:
+    def test_needs_a_neighbor(self):
+        with pytest.raises(ValueError):
+            make_cell(neighbors=())
+
+    def test_ledger_balances_after_epochs(self):
+        cell = make_cell(new_call_rate=0.3, mean_holding=15.0,
+                         mean_residence=10.0)
+        run_epochs(cell)
+        ledger = cell.ledger(horizon=120.0)
+        assert cell_ledger_violations(cell.cell_id, ledger) == []
+        assert ledger["attempts_new"] > 0
+
+    def test_departures_target_known_neighbors(self):
+        cell = make_cell(new_call_rate=0.5, mean_residence=5.0)
+        departures = run_epochs(cell)
+        assert departures
+        assert {d.dst for d in departures} <= set(cell.neighbors)
+        for d in departures:
+            assert d.src == cell.cell_id
+
+    def test_capacity_blocks_new_calls(self):
+        cell = make_cell(new_call_rate=5.0, capacity=2, handoff_capacity=2,
+                         mean_holding=1e6, mean_residence=1e6)
+        cell.advance(0.0, 10.0)
+        assert cell.occupancy == 2
+        assert cell.blocked > 0
+        assert cell.admitted_new == 2
+
+    def test_handoff_overlap_grace(self):
+        # cell full for new calls, but the overlap region admits roamers
+        cell = make_cell(new_call_rate=5.0, capacity=2, handoff_capacity=3,
+                         mean_holding=1e6, mean_residence=1e6)
+        cell.advance(0.0, 10.0)
+        assert cell.occupancy == 2
+        cell.deliver_handoff(10.5, RoamingCall(900, "voice", "ap/0x1"))
+        cell.deliver_handoff(10.6, RoamingCall(901, "voice", "ap/0x1"))
+        cell.advance(10.0, 20.0)
+        assert cell.handoff_in == 2
+        assert cell.handoff_in_admitted == 1
+        assert cell.handoff_dropped_admission == 1
+        assert cell.occupancy == 3
+
+    def test_trajectory_is_seed_deterministic(self):
+        def fingerprint():
+            cell = make_cell(seed=42, new_call_rate=0.4,
+                             mean_holding=12.0, mean_residence=8.0)
+            cell.deliver_handoff(3.0, RoamingCall(500, "video", "ap/0x1"))
+            deps = run_epochs(cell, epochs=4, epoch_length=15.0)
+            return (
+                [(d.time, d.call.call_id, d.dst) for d in deps],
+                cell.ledger(horizon=60.0),
+            )
+
+        assert fingerprint() == fingerprint()
+
+    def test_zero_rate_cell_stays_empty(self):
+        cell = make_cell(new_call_rate=0.0)
+        assert run_epochs(cell) == []
+        assert cell.occupancy == 0 and cell.attempts_new == 0
+
+    def test_occupancy_time_integral(self):
+        cell = make_cell(new_call_rate=0.0)
+        cell.deliver_handoff(0.0, RoamingCall(1, "voice", "ap/0x1"))
+        cell.advance(0.0, 10.0)
+        # one resident call for (almost) the whole epoch
+        dwell = cell.mean_occupancy(10.0)
+        assert 0.0 < dwell <= 1.0
+
+    def test_advance_window_validated(self):
+        cell = make_cell()
+        with pytest.raises(ValueError):
+            cell.advance(5.0, 5.0)

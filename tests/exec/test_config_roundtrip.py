@@ -82,5 +82,5 @@ class TestConfigKey:
         key = config_key(ScenarioConfig())
         assert len(key) == 64
         int(key, 16)  # raises if not hex
-        # 4: ScenarioConfig grew the trace TraceConfig field
-        assert KEY_FORMAT == 4
+        # 5: ScenarioConfig grew the ess EssCellContext field
+        assert KEY_FORMAT == 5
