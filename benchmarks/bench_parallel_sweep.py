@@ -26,22 +26,28 @@ GRID_SEEDS = (1, 2)
 GRID_SIM_TIME = 60.0
 GRID_WARMUP = 6.0
 PARALLEL_WORKERS = 4
+SCHEDULE = "cost"
 
 
 def _timed_run(workers: int):
-    executor = SweepExecutor(ExecutorConfig(workers=workers))
+    executor = SweepExecutor(
+        ExecutorConfig(workers=workers, schedule=SCHEDULE)
+    )
     grid = sweep_grid(
         GRID_SCHEMES, GRID_LOADS, GRID_SEEDS, GRID_SIM_TIME, GRID_WARMUP
     )
     start = time.perf_counter()
     rows = executor.run(grid)
-    return rows, time.perf_counter() - start, executor.summary()
+    wall = time.perf_counter() - start
+    return rows, wall, executor.summary(), executor.telemetry.bench_entry(wall)
 
 
 def test_parallel_sweep_speedup():
-    serial_rows, serial_wall, serial_summary = _timed_run(workers=1)
-    parallel_rows, parallel_wall, parallel_summary = _timed_run(
-        workers=PARALLEL_WORKERS
+    serial_rows, serial_wall, serial_summary, serial_entry = _timed_run(
+        workers=1
+    )
+    parallel_rows, parallel_wall, parallel_summary, parallel_entry = (
+        _timed_run(workers=PARALLEL_WORKERS)
     )
 
     # byte-identical rows: same grid, same seeds, same bytes — the
@@ -85,29 +91,11 @@ def test_parallel_sweep_speedup():
         "parallel_sweep",
         {
             "points": len(serial_rows),
+            "schedule": SCHEDULE,
+            "cpu_cores": cores,
             "rows_identical": True,
-            "serial": {
-                "workers": 1,
-                "wall_s": round(serial_wall, 4),
-                "sim_events": serial_summary["sim_events"],
-                "events_per_sec": round(
-                    serial_summary["sim_events"] / serial_wall
-                ) if serial_wall > 0 else 0,
-                "worker_utilization": round(
-                    serial_summary["worker_utilization"], 4
-                ),
-            },
-            "parallel": {
-                "workers": PARALLEL_WORKERS,
-                "wall_s": round(parallel_wall, 4),
-                "sim_events": parallel_summary["sim_events"],
-                "events_per_sec": round(
-                    parallel_summary["sim_events"] / parallel_wall
-                ) if parallel_wall > 0 else 0,
-                "worker_utilization": round(
-                    parallel_summary["worker_utilization"], 4
-                ),
-            },
+            "serial": serial_entry,
+            "parallel": parallel_entry,
             "speedup": round(speedup, 2),
         },
     )

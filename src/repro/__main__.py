@@ -98,6 +98,7 @@ def _sweep_executor(args: argparse.Namespace):
     return SweepExecutor(
         ExecutorConfig(
             workers=args.workers,
+            schedule=args.schedule,
             cache_dir=None if args.no_cache else args.cache_dir,
             journal=args.journal,
             resume=args.resume,
@@ -423,6 +424,9 @@ def main(argv: list[str] | None = None) -> int:
                        help="subset of schemes to sweep")
     sweep.add_argument("--workers", type=_positive_int, default=1,
                        help="process-pool size (1 = serial in-process)")
+    sweep.add_argument("--schedule", default="cost", choices=["fifo", "cost"],
+                       help="dispatch order in pool mode: grid order (fifo) "
+                            "or longest-expected-first (cost, default)")
     sweep.add_argument("--resume", action="store_true",
                        help="skip points already in the checkpoint journal")
     sweep.add_argument("--no-cache", action="store_true",
@@ -444,6 +448,9 @@ def main(argv: list[str] | None = None) -> int:
                           help="which tier to run (default: smoke)")
     validate.add_argument("--workers", type=_positive_int, default=1,
                           help="process-pool size (1 = serial in-process)")
+    validate.add_argument("--schedule", default="cost",
+                          choices=["fifo", "cost"],
+                          help="dispatch order in pool mode (default: cost)")
     validate.add_argument("--resume", action="store_true",
                           help="skip points already in the checkpoint journal")
     validate.add_argument("--no-cache", action="store_true",
@@ -467,6 +474,8 @@ def main(argv: list[str] | None = None) -> int:
                        help="which chaos tier to run (default: smoke)")
     chaos.add_argument("--workers", type=_positive_int, default=1,
                        help="process-pool size (1 = serial in-process)")
+    chaos.add_argument("--schedule", default="cost", choices=["fifo", "cost"],
+                       help="dispatch order in pool mode (default: cost)")
     chaos.add_argument("--resume", action="store_true",
                        help="skip points already in the checkpoint journal")
     chaos.add_argument("--no-cache", action="store_true",
@@ -553,6 +562,10 @@ def main(argv: list[str] | None = None) -> int:
                      help="MAC scheme for frame-level shards")
     ess.add_argument("--workers", type=_positive_int, default=1,
                      help="process-pool size for frames fidelity")
+    ess.add_argument("--schedule", default="cost", choices=["fifo", "cost"],
+                     help="shard dispatch order in pool mode: the cost "
+                          "model weighs each shard's handoff-arrival count "
+                          "(default: cost)")
     ess.add_argument("--resume", action="store_true",
                      help="skip shards already in the checkpoint journal")
     ess.add_argument("--no-cache", action="store_true",

@@ -122,15 +122,23 @@ def compare(
 # -- parallel-sweep wiring ---------------------------------------------------
 
 def run_parallel_sweep(
-    workers: int = 4, sim_time: float = 20.0, warmup: float = 2.0
+    workers: int = 4,
+    sim_time: float = 20.0,
+    warmup: float = 2.0,
+    schedule: str = "cost",
 ) -> dict[str, typing.Any]:
     """Scaled-down serial-vs-pool sweep for the ``parallel_sweep`` section.
 
     Same grid shape as ``benchmarks/bench_parallel_sweep.py`` (schemes x
     loads x seeds through :class:`~repro.exec.SweepExecutor`), shrunk so
     a gate run stays interactive; rows must be byte-identical across
-    the two modes.
+    the two modes.  ``cpu_cores`` is recorded alongside the timings
+    because the speedup is only meaningful relative to the cores the
+    machine actually has (a 1-core container cannot beat ~1.0x no
+    matter how warm the pool is — the gate skips its speedup floor
+    there, see ``--min-sweep-speedup``).
     """
+    import os as _os
     import time as _time
 
     from ..exec import ExecutorConfig, SweepExecutor
@@ -140,7 +148,7 @@ def run_parallel_sweep(
                       sim_time, warmup)
 
     def timed(n: int) -> tuple:
-        executor = SweepExecutor(ExecutorConfig(workers=n))
+        executor = SweepExecutor(ExecutorConfig(workers=n, schedule=schedule))
         start = _time.perf_counter()
         rows = executor.run(grid)
         wall = _time.perf_counter() - start
@@ -152,6 +160,8 @@ def run_parallel_sweep(
     identical = canon == [json.dumps(r, sort_keys=True) for r in parallel_rows]
     return {
         "points": len(serial_rows),
+        "schedule": schedule,
+        "cpu_cores": _os.cpu_count() or 1,
         "rows_identical": identical,
         "serial": serial,
         "parallel": parallel,
@@ -189,6 +199,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="skip the tracemalloc allocation pass")
     parser.add_argument("--with-sweep", action="store_true",
                         help="also measure the serial-vs-pool sweep section")
+    parser.add_argument("--min-sweep-speedup", type=float, default=None,
+                        help="with --with-sweep: fail unless the pool "
+                             "speedup reaches this floor; only enforced "
+                             "when the machine has at least as many CPU "
+                             "cores as sweep workers (CI runners do, "
+                             "1-core containers skip with a note)")
     parser.add_argument("--update", action="store_true",
                         help="rewrite the baseline from this run and exit 0")
     args = parser.parse_args(argv)
@@ -233,6 +249,24 @@ def main(argv: list[str] | None = None) -> int:
         if not sweep["rows_identical"]:
             print("error: serial and pool sweep rows differ", file=sys.stderr)
             return 1
+        if args.min_sweep_speedup is not None:
+            cores = sweep["cpu_cores"]
+            pool_workers = sweep["parallel"]["workers"]
+            if cores >= pool_workers:
+                if sweep["speedup"] < args.min_sweep_speedup:
+                    print(
+                        f"error: sweep speedup {sweep['speedup']}x < "
+                        f"required {args.min_sweep_speedup}x "
+                        f"({pool_workers} workers on {cores} cores)",
+                        file=sys.stderr,
+                    )
+                    return 1
+            else:
+                print(
+                    f"  sweep speedup floor skipped: {cores} core(s) < "
+                    f"{pool_workers} workers (no parallelism to measure)",
+                    file=sys.stderr,
+                )
 
     write_report(args.out, report)
     print(f"  report written to {args.out}", file=sys.stderr)

@@ -418,17 +418,22 @@ def run_ess(
 
     ``executor`` (a :class:`~repro.exec.executor.SweepExecutor`) is
     only consulted in ``fidelity="frames"`` — the per-(cell, epoch)
-    frame-level grid is dispatched through it, so workers, caching and
-    resume all apply to ESS sharding exactly as to figure sweeps.
+    frame-level grid is dispatched through it, so workers, caching,
+    resume and cost-aware scheduling all apply to ESS sharding exactly
+    as to figure sweeps.  Shards vary widely in cost (a cell-epoch with
+    many handoff arrivals simulates far more traffic), which is why the
+    default executor uses the ``cost`` schedule: its prior includes a
+    per-handoff-arrival term, so heavy shards dispatch first instead of
+    straggling at the tail of the epoch.
     """
     coordinator = EssCoordinator(config)
     coordinator.run()
     frames_rows = None
     if config.fidelity == "frames":
         if executor is None:
-            from ..exec import SweepExecutor
+            from ..exec import ExecutorConfig, SweepExecutor
 
-            executor = SweepExecutor()
+            executor = SweepExecutor(ExecutorConfig(schedule="cost"))
         frames_rows = executor.run(coordinator.frames_grid())
     return coordinator.report(frames_rows)
 

@@ -1,12 +1,17 @@
-"""Parallel experiment execution: process-pool sweeps, caching, resume.
+"""Parallel experiment execution: warm-worker sweeps, caching, resume.
 
 This package owns *how* simulation points get executed, sitting
 between the scenario layer (`repro.network`) and the evaluation
 harness (`repro.experiments`):
 
 * :class:`SweepExecutor` / :class:`ExecutorConfig` — serial or
-  process-pool execution with chunked dispatch, per-point timeout and
-  bounded retry;
+  persistent warm-worker execution with cost-aware
+  longest-expected-first dispatch, per-point timeout, bounded retry
+  and targeted single-worker restart;
+* :class:`WorkerPool` — the spawn-once worker processes and their
+  dedicated task/result pipes (:mod:`repro.exec.pool`);
+* :class:`PointScheduler` / :class:`CostModel` — the pure-python
+  dispatch-order model (:mod:`repro.exec.scheduler`);
 * :class:`ResultCache` — content-addressed result rows under
   ``.repro-cache/`` keyed by :func:`config_key`;
 * :class:`SweepJournal` — JSON-lines checkpoint of completed points,
@@ -25,7 +30,14 @@ from .executor import (
 )
 from .hashing import KEY_FORMAT, canonical_json, config_key, jsonable, normalize_row
 from .journal import SweepJournal
-from .telemetry import PointRecord, RunTelemetry
+from .pool import WorkerPool, config_delta
+from .scheduler import (
+    SCHEDULE_POLICIES,
+    CostModel,
+    PointScheduler,
+    simulate_schedule,
+)
+from .telemetry import PointRecord, RunTelemetry, phase_utilization
 
 __all__ = [
     "DEFAULT_CACHE_DIR",
@@ -41,6 +53,13 @@ __all__ = [
     "jsonable",
     "normalize_row",
     "SweepJournal",
+    "WorkerPool",
+    "config_delta",
+    "SCHEDULE_POLICIES",
+    "CostModel",
+    "PointScheduler",
+    "simulate_schedule",
     "PointRecord",
     "RunTelemetry",
+    "phase_utilization",
 ]

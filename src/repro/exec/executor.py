@@ -1,24 +1,31 @@
-"""The sweep executor: fan simulation points out over a process pool.
+"""The sweep executor: fan simulation points out over warm workers.
 
 :class:`SweepExecutor` owns how a grid of
 :class:`~repro.network.bss.ScenarioConfig` points gets executed:
 
 * ``workers=1`` runs every point serially in-process — fully
   deterministic, no subprocess machinery, the mode tests default to;
-* ``workers>1`` dispatches points to a
-  :class:`concurrent.futures.ProcessPoolExecutor` in bounded chunks
-  (at most ``workers x chunk_size`` outstanding), with per-point
-  timeout and bounded retry — a wedged or crashed worker costs one
-  pool rebuild, not the grid;
+* ``workers>1`` dispatches points to a persistent
+  :class:`~repro.exec.pool.WorkerPool`: spawn-once warm workers that
+  initialize the simulator environment a single time and then drain a
+  task stream of compact config deltas, with cost-aware
+  longest-expected-first ordering
+  (:class:`~repro.exec.scheduler.PointScheduler`), per-point timeout,
+  bounded retry, and **targeted single-worker restart** — a wedged or
+  crashed worker costs one process respawn, never the grid and never
+  its siblings' in-flight points;
 * an optional content-addressed :class:`~repro.exec.cache.ResultCache`
   short-circuits points whose config hash already has a row on disk;
 * an optional :class:`~repro.exec.journal.SweepJournal` checkpoints
-  every completed row, so an interrupted sweep resumes where it died.
+  every completed row, so an interrupted sweep resumes where it died —
+  with warm workers exactly as with serial runs, because resume
+  filtering happens coordinator-side before any task is dispatched.
 
 Result rows come back in input order and are JSON-normalized
 (:func:`~repro.exec.hashing.normalize_row`), so a serial run, a
 parallel run, a cached replay and a resumed run of the same grid all
-return byte-identical rows.
+return byte-identical rows — dispatch *order* is a performance
+decision and never leaks into results.
 
 Per-point timeouts are only enforceable in pool mode (a serial run
 cannot preempt itself); serial mode still honours ``retries``.
@@ -26,10 +33,8 @@ cannot preempt itself); serial mode still honours ``retries``.
 
 from __future__ import annotations
 
-import collections
-import concurrent.futures
 import dataclasses
-import multiprocessing
+import itertools
 import time
 import typing
 
@@ -37,6 +42,8 @@ from ..network.bss import BssScenario, ScenarioConfig
 from .cache import DEFAULT_CACHE_DIR, ResultCache
 from .hashing import config_key, normalize_row
 from .journal import SweepJournal
+from .pool import WorkerPool, config_delta
+from .scheduler import SCHEDULE_POLICIES, PointScheduler
 from .telemetry import PointRecord, RunTelemetry
 
 __all__ = [
@@ -49,6 +56,9 @@ __all__ = [
 
 #: how often the pool loop polls for completions when a timeout is set
 _TIMEOUT_TICK = 0.05
+#: idle poll period without a timeout (worker death still wakes the
+#: poll immediately via the process sentinels)
+_POLL_TICK = 0.25
 
 
 def default_point_fn(config: ScenarioConfig) -> dict[str, typing.Any]:
@@ -60,7 +70,7 @@ def _execute_point(
     point_fn: typing.Callable[[ScenarioConfig], dict] | None,
     config: ScenarioConfig,
 ) -> tuple[dict[str, typing.Any], float]:
-    """Worker-side wrapper: run one point, timing it."""
+    """Serial-mode wrapper: run one point, timing it."""
     start = time.perf_counter()
     row = (point_fn or default_point_fn)(config)
     return row, time.perf_counter() - start
@@ -96,11 +106,14 @@ class SweepExecutionError(RuntimeError):
 class ExecutorConfig:
     """Knobs for one :class:`SweepExecutor`."""
 
-    #: process-pool size; ``1`` means serial in-process execution
+    #: warm-worker count; ``1`` means serial in-process execution
     workers: int = 1
-    #: outstanding futures per worker (bounds dispatch memory)
+    #: legacy knob of the retired chunked-pool path; accepted and
+    #: validated for API compatibility, ignored by the warm pool
+    #: (dispatch is one in-flight point per worker)
     chunk_size: int = 4
-    #: per-point wall-clock budget in seconds (pool mode only)
+    #: per-point wall-clock budget in seconds (pool mode only) — a
+    #: point outliving it marks its worker wedged and restarts it
     timeout: float | None = None
     #: additional attempts after a failed/timed-out/crashed first try
     retries: int = 1
@@ -112,6 +125,9 @@ class ExecutorConfig:
     resume: bool = False
     #: ``"raise"`` a :class:`SweepExecutionError` or ``"skip"`` failed points
     on_failure: str = "raise"
+    #: dispatch order in pool mode: ``"cost"`` = longest-expected-first
+    #: with online refinement (default), ``"fifo"`` = grid order
+    schedule: str = "cost"
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -125,6 +141,11 @@ class ExecutorConfig:
         if self.on_failure not in ("raise", "skip"):
             raise ValueError(
                 f"on_failure must be 'raise' or 'skip', got {self.on_failure!r}"
+            )
+        if self.schedule not in SCHEDULE_POLICIES:
+            raise ValueError(
+                f"schedule must be one of {SCHEDULE_POLICIES}, "
+                f"got {self.schedule!r}"
             )
 
 
@@ -184,9 +205,13 @@ class SweepExecutor:
 
         failures: list[PointFailure] = []
         self.failures = failures
-        if pending:
-            runner = self._run_serial if cfg.workers == 1 else self._run_pool
-            runner(configs, keys, rows, pending, cache, journal, tel, failures)
+        try:
+            if pending:
+                runner = self._run_serial if cfg.workers == 1 else self._run_pool
+                runner(configs, keys, rows, pending, cache, journal, tel, failures)
+        finally:
+            if journal is not None:
+                journal.close()
 
         tel.finish()
         if failures and cfg.on_failure == "raise":
@@ -241,6 +266,7 @@ class SweepExecutor:
     ) -> None:
         row = normalize_row(row)
         rows[index] = row
+        tel.busy_worker_s += wall
         if cache is not None:
             cache.put(keys[index], row, configs[index])
         if journal is not None:
@@ -264,9 +290,11 @@ class SweepExecutor:
             attempts = 0
             while True:
                 attempts += 1
+                started = time.perf_counter()
                 try:
                     row, wall = _execute_point(self.point_fn, configs[i])
                 except Exception as exc:  # noqa: BLE001 — retried, then surfaced
+                    tel.busy_worker_s += time.perf_counter() - started
                     if attempts <= cfg.retries:
                         tel.retries += 1
                         continue
@@ -282,100 +310,134 @@ class SweepExecutor:
                 )
                 break
 
-    # -- pool mode --------------------------------------------------------
-    def _make_pool(self) -> concurrent.futures.ProcessPoolExecutor:
-        # fork keeps test-injected point functions picklable and is the
-        # cheapest start method; fall back to the platform default
-        methods = multiprocessing.get_all_start_methods()
-        ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
-        return concurrent.futures.ProcessPoolExecutor(
-            max_workers=self.config.workers, mp_context=ctx
-        )
-
+    # -- pool mode (persistent warm workers) ------------------------------
     def _run_pool(
         self, configs, keys, rows, pending, cache, journal, tel, failures
     ) -> None:
         cfg = self.config
-        max_outstanding = cfg.workers * cfg.chunk_size
-        # (index, attempts_used) — a point re-enters the queue on retry
-        queue: collections.deque[tuple[int, int]] = collections.deque(
-            (i, 0) for i in pending
-        )
-        # future -> [index, attempts_used, started_at | None]
-        inflight: dict[concurrent.futures.Future, list] = {}
-        pool = self._make_pool()
+        scheduler = PointScheduler(cfg.schedule)
+        attempts: dict[int, int] = {}
+        for i in pending:
+            attempts[i] = 0
+            scheduler.add(i, configs[i])
+        # the base config is broadcast once at spawn; every task ships
+        # only its delta against it
+        base = configs[pending[0]].to_dict()
 
-        def fail_or_requeue(index: int, attempts: int, error: str) -> None:
-            if attempts <= cfg.retries:
+        def fail_or_requeue(index: int, used: int, error: str) -> None:
+            if used <= cfg.retries:
                 tel.retries += 1
-                queue.append((index, attempts))
+                scheduler.add(index, configs[index])
             else:
                 failures.append(PointFailure(index, configs[index], error))
                 self._emit(
                     tel, index, configs[index], "failed",
-                    attempts=attempts, error=error,
+                    attempts=used, error=error,
                 )
 
+        pool = WorkerPool(cfg.workers, base, self.point_fn)
+        #: task_id -> grid index for every dispatched, unresolved task;
+        #: task ids are fresh per attempt, so a stale message from a
+        #: killed worker can never resolve a retried point
+        tasks: dict[int, int] = {}
+        task_ids = itertools.count(1)
         try:
-            while queue or inflight:
-                while queue and len(inflight) < max_outstanding:
-                    index, attempts = queue.popleft()
-                    future = pool.submit(_execute_point, self.point_fn, configs[index])
-                    inflight[future] = [index, attempts, None]
+            warmup_s = pool.wait_ready()
+            steady_s = drain_s = capacity_s = 0.0
+            last = time.perf_counter()
 
-                tick = _TIMEOUT_TICK if cfg.timeout is not None else None
-                done, _ = concurrent.futures.wait(
-                    tuple(inflight),
-                    timeout=tick,
-                    return_when=concurrent.futures.FIRST_COMPLETED,
-                )
+            while tasks or scheduler:
+                # greedy dispatch: no ready worker stays idle while
+                # points are pending (the scheduler invariant the
+                # property tests pin on the pure model)
+                for worker in pool.idle():
+                    if not scheduler:
+                        break
+                    index, config = scheduler.pop()
+                    task_id = next(task_ids)
+                    tasks[task_id] = index
+                    pool.dispatch(
+                        worker, task_id, config_delta(base, config.to_dict())
+                    )
 
-                broken = False
-                for future in done:
-                    index, attempts, _started = inflight.pop(future)
-                    attempts += 1
-                    try:
-                        row, wall = future.result()
-                    except concurrent.futures.BrokenExecutor as exc:
-                        broken = True
-                        fail_or_requeue(index, attempts, repr(exc))
-                    except Exception as exc:  # noqa: BLE001 — worker raised
-                        fail_or_requeue(index, attempts, repr(exc))
-                    else:
+                # capacity integrates over the *wait* with the state
+                # that holds during it (post-dispatch, pre-completion);
+                # attributing the interval to the post-completion state
+                # would systematically under-count busy workers
+                pending_during_wait = bool(scheduler)
+                avail = pool.ready_count()
+                active = pool.active_count()
+
+                tick = _TIMEOUT_TICK if cfg.timeout is not None else _POLL_TICK
+                messages, dead = pool.poll(tick)
+
+                now = time.perf_counter()
+                dt, last = now - last, now
+                if pending_during_wait:
+                    # steady state: every ready worker is usable capacity
+                    steady_s += dt
+                    capacity_s += dt * avail
+                else:
+                    # queue drained: only still-busy workers count —
+                    # tail idling is expected, not lost capacity
+                    drain_s += dt
+                    capacity_s += dt * min(avail, active)
+
+                for kind, _wid, task_id, payload, wall in messages:
+                    index = tasks.pop(task_id, None)
+                    if index is None:
+                        continue  # stale: the task was already resolved
+                    attempts[index] += 1
+                    if kind == "done":
+                        scheduler.observe(configs[index], wall)
                         self._complete(
-                            index, row, wall, attempts,
+                            index, payload, wall, attempts[index],
                             configs, keys, rows, cache, journal, tel,
                         )
+                    else:  # "error"
+                        tel.busy_worker_s += wall
+                        fail_or_requeue(index, attempts[index], str(payload))
 
-                if cfg.timeout is not None and not broken:
-                    now = time.monotonic()
-                    for future, state in inflight.items():
-                        if state[2] is None and future.running():
-                            state[2] = now
-                    expired = [
-                        future
-                        for future, state in inflight.items()
-                        if state[2] is not None and now - state[2] > cfg.timeout
-                    ]
-                    for future in expired:
-                        index, attempts, _started = inflight.pop(future)
-                        tel.timeouts += 1
-                        broken = True  # the wedged worker holds a pool slot
+                for worker in dead:
+                    task_id = worker.current
+                    if task_id is not None and task_id in tasks:
+                        index = tasks.pop(task_id)
+                        attempts[index] += 1
+                        if worker.started is not None:
+                            tel.busy_worker_s += (
+                                time.perf_counter() - worker.started
+                            )
                         fail_or_requeue(
                             index,
-                            attempts + 1,
-                            f"timed out after {cfg.timeout}s",
+                            attempts[index],
+                            f"worker {worker.worker_id} died "
+                            f"(exitcode {worker.process.exitcode})",
                         )
+                    pool.restart(worker)
 
-                if broken:
-                    # a crashed or wedged worker poisons the pool: requeue
-                    # everything in flight (attempts unchanged — their try
-                    # never finished) and start a fresh pool
-                    pool.shutdown(wait=False, cancel_futures=True)
-                    for index, attempts, _started in inflight.values():
-                        queue.append((index, attempts))
-                    inflight.clear()
-                    tel.pool_rebuilds += 1
-                    pool = self._make_pool()
+                if cfg.timeout is not None:
+                    now = time.perf_counter()
+                    for worker in list(pool.workers):
+                        task_id = worker.current
+                        if task_id is None or worker.started is None:
+                            continue
+                        if now - worker.started <= cfg.timeout:
+                            continue
+                        tel.timeouts += 1
+                        tel.busy_worker_s += now - worker.started
+                        index = tasks.pop(task_id, None)
+                        if index is not None:
+                            attempts[index] += 1
+                            fail_or_requeue(
+                                index,
+                                attempts[index],
+                                f"timed out after {cfg.timeout}s",
+                            )
+                        # the wedged process burns a core until killed;
+                        # only this slot restarts, siblings keep going
+                        pool.restart(worker)
+
+            tel.set_phases(warmup_s, steady_s, drain_s, capacity_s)
         finally:
-            pool.shutdown(wait=False, cancel_futures=True)
+            tel.worker_restarts = pool.restarts
+            pool.shutdown()

@@ -6,6 +6,15 @@ any instant loses at most the in-flight points: a re-run with
 ``resume=True`` loads the journal, skips every journaled key and only
 simulates the remainder.  A truncated final line — the signature of a
 mid-write kill — is detected and ignored on load.
+
+Only the coordinator process ever writes the journal (warm workers
+ship rows back over their result pipes; they never touch the file), so
+rows land in *completion* order — which under cost-aware scheduling is
+not grid order.  ``load()`` returns a key-addressed dict precisely so
+resume is order-independent.  The file handle is held open across
+appends (one ``open`` per sweep instead of one per point) with an
+explicit flush per row, so a ``SIGKILL`` still loses at most the line
+being written.
 """
 
 from __future__ import annotations
@@ -24,6 +33,7 @@ class SweepJournal:
 
     def __init__(self, path: str | pathlib.Path) -> None:
         self.path = pathlib.Path(path)
+        self._fh: typing.IO[str] | None = None
 
     def exists(self) -> bool:
         return self.path.is_file()
@@ -63,6 +73,7 @@ class SweepJournal:
 
     def start(self, resume: bool = False) -> None:
         """Begin a run: keep the journal when resuming, else rewrite it."""
+        self.close()
         if resume and self.exists():
             return
         from .. import __version__
@@ -73,7 +84,20 @@ class SweepJournal:
 
     def append(self, key: str, row: dict[str, typing.Any]) -> None:
         """Record one completed point (flushed immediately)."""
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        with self.path.open("a") as fh:
-            fh.write(canonical_json({"key": key, "row": row}) + "\n")
-            fh.flush()
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = self.path.open("a")
+        self._fh.write(canonical_json({"key": key, "row": row}) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        """Release the held handle (the executor calls this after a run)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -4,8 +4,18 @@ Every point the executor resolves — simulated, served from cache,
 replayed from a resume journal, or failed — produces one
 :class:`PointRecord`, streamed to the progress callback as it happens
 and aggregated into the final summary dict (wall time, simulator
-events processed, cache hit/miss counts, retry/timeout counts, and
-worker utilization = busy worker-seconds / (workers x elapsed)).
+events processed, cache hit/miss counts, retry/timeout counts, worker
+restarts, and worker utilization).
+
+Utilization is **phase-aware**: a warm-worker run reports separate
+pool *warm-up* (spawn + environment-init handshake), *steady-state*
+(points still pending) and *queue-drain* (tail in flight, nothing
+pending) phases, and ``worker_utilization`` divides busy
+worker-seconds by the **usable capacity** only — ``workers x
+steady_s`` plus the drain window weighted by the workers still busy.
+Counting the whole run as capacity (the retired arithmetic, kept as
+``worker_utilization_raw``) blends pool-spawn and tail dead time into
+steady state and under-reports how busy the workers actually were.
 """
 
 from __future__ import annotations
@@ -14,10 +24,24 @@ import dataclasses
 import time
 import typing
 
-__all__ = ["PointRecord", "RunTelemetry"]
+__all__ = ["PointRecord", "RunTelemetry", "phase_utilization"]
 
 #: terminal states a point can reach
 STATUSES = ("executed", "cached", "resumed", "failed")
+
+
+def phase_utilization(
+    busy_s: float, workers: int, steady_s: float, drain_capacity_s: float
+) -> float:
+    """Busy worker-seconds over usable capacity (the summary arithmetic).
+
+    ``drain_capacity_s`` is the integral of still-busy workers over the
+    drain window; warm-up contributes no capacity at all (no task can
+    run before the environment handshake).  Pinned by
+    ``tests/exec/test_telemetry_phases.py``.
+    """
+    capacity = max(1, workers) * steady_s + drain_capacity_s
+    return busy_s / capacity if capacity > 0 else 0.0
 
 
 @dataclasses.dataclass(frozen=True)
@@ -45,12 +69,40 @@ class RunTelemetry:
         self.cache_misses = 0
         self.retries = 0
         self.timeouts = 0
+        #: targeted single-worker respawns (crash or wedge); the warm
+        #: pool never rebuilds wholesale, so ``pool_rebuilds`` stays 0
+        #: and is kept only for summary-shape compatibility
+        self.worker_restarts = 0
         self.pool_rebuilds = 0
+        #: worker-seconds actually spent executing attempts (successful
+        #: or not); the executor accumulates this at completion sites
+        self.busy_worker_s = 0.0
+        self._phases: dict[str, float] | None = None
         self._started = time.perf_counter()
         self._finished: float | None = None
 
     def record(self, record: PointRecord) -> None:
         self.records.append(record)
+
+    def set_phases(
+        self,
+        warmup_s: float,
+        steady_s: float,
+        drain_s: float,
+        capacity_s: float,
+    ) -> None:
+        """Attach the pool run's phase split (see the module docstring).
+
+        ``capacity_s`` is the usable-capacity integral: ``workers x
+        steady_s`` plus busy-workers x drain time, excluding warm-up
+        and restart dead time.
+        """
+        self._phases = {
+            "warmup_s": warmup_s,
+            "steady_s": steady_s,
+            "drain_s": drain_s,
+            "capacity_s": capacity_s,
+        }
 
     def finish(self) -> None:
         self._finished = time.perf_counter()
@@ -66,8 +118,18 @@ class RunTelemetry:
     def summary(self) -> dict[str, typing.Any]:
         """The final run summary the CLI and benchmarks report."""
         executed = [r for r in self.records if r.status == "executed"]
-        busy = sum(r.wall_time for r in executed)
+        point_busy = sum(r.wall_time for r in executed)
+        # busy_worker_s additionally counts failed/timed-out attempts;
+        # fall back to the executed-point sum for hand-built telemetry
+        busy = self.busy_worker_s if self.busy_worker_s > 0 else point_busy
         elapsed = self.elapsed
+        raw_util = busy / (self.workers * elapsed) if elapsed > 0 else 0.0
+        if self._phases is not None:
+            capacity = self._phases["capacity_s"]
+            utilization = busy / capacity if capacity > 0 else 0.0
+        else:
+            # serial runs and hand-built telemetry: no phase split
+            utilization = raw_util
         return {
             "total_points": len(self.records),
             "executed": len(executed),
@@ -77,20 +139,22 @@ class RunTelemetry:
             "failed": self._count("failed"),
             "retries": self.retries,
             "timeouts": self.timeouts,
+            "worker_restarts": self.worker_restarts,
             "pool_rebuilds": self.pool_rebuilds,
             "workers": self.workers,
             "wall_time": elapsed,
-            "point_wall_total": busy,
-            "point_wall_mean": busy / len(executed) if executed else 0.0,
+            "point_wall_total": point_busy,
+            "point_wall_mean": point_busy / len(executed) if executed else 0.0,
             "point_wall_max": max((r.wall_time for r in executed), default=0.0),
             "sim_events": sum(r.sim_events for r in executed),
             # aggregate simulation throughput over busy worker time
             "events_per_sec": (
-                sum(r.sim_events for r in executed) / busy if busy > 0 else 0.0
+                sum(r.sim_events for r in executed) / point_busy
+                if point_busy > 0 else 0.0
             ),
-            "worker_utilization": (
-                busy / (self.workers * elapsed) if elapsed > 0 else 0.0
-            ),
+            "worker_utilization": utilization,
+            "worker_utilization_raw": raw_util,
+            "phases": dict(self._phases) if self._phases is not None else None,
         }
 
     def bench_entry(self, wall_s: float | None = None) -> dict[str, typing.Any]:
@@ -103,10 +167,19 @@ class RunTelemetry:
         summary = self.summary()
         wall = summary["wall_time"] if wall_s is None else wall_s
         events = summary["sim_events"]
-        return {
+        entry = {
             "workers": self.workers,
             "wall_s": round(wall, 4),
             "sim_events": events,
             "events_per_sec": round(events / wall) if wall > 0 else 0,
             "worker_utilization": round(summary["worker_utilization"], 4),
+            "worker_utilization_raw": round(
+                summary["worker_utilization_raw"], 4
+            ),
+            "worker_restarts": summary["worker_restarts"],
         }
+        if summary["phases"] is not None:
+            entry["phases"] = {
+                k: round(v, 4) for k, v in summary["phases"].items()
+            }
+        return entry
