@@ -19,15 +19,23 @@ bench             run the pinned-seed perf microbenchmarks and gate
 ess               run a multi-BSS Extended Service Set: a microcell
                   grid with roaming stations, AP-to-AP handoffs over
                   node-disjoint backhaul paths (with failover under
-                  injected link faults), cross-BSS conservation
-                  invariants, and a JSON report of per-cell QoS,
-                  handoff-drop rate and backhaul failover counts
+                  injected link and whole-AP faults), cross-BSS
+                  conservation invariants, and a JSON report of
+                  per-cell QoS, handoff-drop rate and backhaul
+                  failover counts
+redteam           run a seeded adversarial campaign over the fault /
+                  load space, delta-debug champions down to minimal
+                  reproducers (``--shrink``) and archive genuinely new
+                  breaches as chaos-tier fixtures; the campaign JSON is
+                  byte-identical for a fixed seed across worker counts
 
 Run with no command to see this help.
 
 Exit codes: 0 success; 1 failed validation claims / chaos gates /
-perf-gate regressions / ESS conservation violations; 2 sweep points
-permanently failed after retries.
+perf-gate regressions / ESS conservation violations / redteam
+execution failures; 2 sweep points permanently failed after retries,
+or (redteam) a genuinely new breach was found that is not yet in the
+archived reproducer corpus.
 """
 
 from __future__ import annotations
@@ -317,6 +325,22 @@ def _parse_link_fault(text: str):
         raise argparse.ArgumentTypeError(f"bad link fault {text!r}: {exc}")
 
 
+def _parse_ap_fault(text: str):
+    """``AP[:start[:end]]`` -> ApFault (AP ids may contain ``/``)."""
+    from .faults import ApFault
+
+    # AP ids look like ap/1x0 and never contain ":", so every ":"
+    # separates window fields
+    parts = text.split(":")
+    ap, windows = parts[0], parts[1:]
+    try:
+        start = float(windows[0]) if len(windows) > 0 else 0.0
+        end = float(windows[1]) if len(windows) > 1 else None
+        return ApFault(ap=ap, start=start, end=end)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"bad AP fault {text!r}: {exc}")
+
+
 def _cmd_ess(args: argparse.Namespace) -> int:
     from .ess import EssConfig, run_ess, save_report
     from .exec import SweepExecutionError
@@ -335,6 +359,7 @@ def _cmd_ess(args: argparse.Namespace) -> int:
         overlap=args.overlap,
         disjoint_paths=args.disjoint_paths,
         backhaul_faults=tuple(args.fault or ()),
+        ap_faults=tuple(args.ap_fault or ()),
         fidelity=args.fidelity,
         frames_time=args.frames_time,
         scheme=args.scheme,
@@ -371,6 +396,7 @@ def _cmd_ess(args: argparse.Namespace) -> int:
     print(f"  handoffs: attempts={totals['handoff_attempts']} "
           f"dropped-admission={totals['dropped_admission']} "
           f"dropped-backhaul={totals['dropped_backhaul']} "
+          f"dropped-ap-down={totals['dropped_ap_down']} "
           f"drop-rate={totals['handoff_drop_rate']:.3%}")
     print(f"  backhaul: routed={backhaul['routed']} "
           f"failovers={backhaul['failovers']} "
@@ -384,6 +410,55 @@ def _cmd_ess(args: argparse.Namespace) -> int:
     for message in conservation["violations"][:10]:
         print(f"    {message}")
     return 1
+
+
+def _cmd_redteam(args: argparse.Namespace) -> int:
+    from .exec import ExecutorConfig, SweepExecutionError, SweepExecutor
+    from .redteam import (
+        CampaignConfig,
+        DecodeSettings,
+        ExecEvaluator,
+        ObjectiveConfig,
+        run_campaign,
+    )
+
+    config = CampaignConfig(
+        budget=args.budget,
+        seed=args.seed,
+        surface=args.surface,
+        batch=args.batch,
+        explore_ratio=args.explore,
+        settings=DecodeSettings(sim_time=args.time),
+        objective=ObjectiveConfig(),
+        shrink=args.shrink,
+        shrink_budget=args.shrink_budget,
+    )
+    executor = SweepExecutor(
+        ExecutorConfig(
+            workers=args.workers,
+            schedule=args.schedule,
+            cache_dir=None,
+            timeout=args.timeout,
+            on_failure="skip",
+        )
+    )
+    evaluator = ExecEvaluator(config.settings, config.objective, executor)
+    archive_dir = None if args.no_archive else args.archive_dir
+    try:
+        report = run_campaign(config, evaluator, archive_dir=archive_dir)
+    except (SweepExecutionError, RuntimeError) as exc:
+        print(f"error: campaign execution failed: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"  campaign: {evaluator.evaluations} scenario evaluations "
+        f"(workers={args.workers})",
+        file=sys.stderr,
+    )
+    out = args.out or ".repro-cache/redteam-campaign.json"
+    path = report.save(out)
+    print(f"  campaign report written to {path}", file=sys.stderr)
+    print(report.render())
+    return 2 if report.new_unarchived else 0
 
 
 def _positive_int(text: str) -> int:
@@ -549,6 +624,12 @@ def main(argv: list[str] | None = None) -> int:
                      metavar="A-B[:START[:END]]",
                      help="fault a backhaul link, e.g. ap/1x0-ap/1x1 or "
                           "ap/0x0-ap/0x1:10:50 (repeatable)")
+    ess.add_argument("--ap-fault", action="append", type=_parse_ap_fault,
+                     metavar="AP[:START[:END]]",
+                     help="take a whole AP down, e.g. ap/1x1 or "
+                          "ap/0x0:10:50: its cell sheds residents and "
+                          "blocks arrivals, and backhaul routes avoid it "
+                          "(repeatable)")
     ess.add_argument("--fidelity", default="calls",
                      choices=["calls", "frames"],
                      help="calls: call-level cells only; frames: also run "
@@ -580,6 +661,52 @@ def main(argv: list[str] | None = None) -> int:
                      help="JSON report path (default: "
                           ".repro-cache/ess-report.json)")
 
+    redteam = sub.add_parser(
+        "redteam",
+        help="adversarial scenario search: find, shrink and archive "
+             "minimal breach reproducers",
+    )
+    redteam.add_argument("--budget", type=_positive_int, default=32,
+                         help="total scenario evaluations to spend "
+                              "(default: 32)")
+    redteam.add_argument("--seed", type=int, default=0,
+                         help="campaign RNG seed (default: 0)")
+    redteam.add_argument("--surface", default="bss",
+                         choices=["bss", "ess", "both"],
+                         help="search surface: frame-level BSS points, "
+                              "call-level ESS grids, or both (default: bss)")
+    redteam.add_argument("--batch", type=_positive_int, default=8,
+                         help="evaluations per batch / pool dispatch "
+                              "(default: 8)")
+    redteam.add_argument("--explore", type=float, default=0.5,
+                         help="fraction of each batch kept pure-random "
+                              "(default: 0.5)")
+    redteam.add_argument("--time", type=float, default=12.0,
+                         help="sim seconds per BSS evaluation (default: 12)")
+    redteam.add_argument("--shrink", action="store_true",
+                         help="delta-debug every champion down to a "
+                              "minimal reproducer before archiving")
+    redteam.add_argument("--shrink-budget", type=_positive_int, default=48,
+                         help="per-champion shrink evaluation budget "
+                              "(default: 48)")
+    redteam.add_argument("--workers", type=_positive_int, default=1,
+                         help="process-pool size (1 = serial in-process); "
+                              "the report is byte-identical either way")
+    redteam.add_argument("--schedule", default="cost",
+                         choices=["fifo", "cost"],
+                         help="dispatch order in pool mode (default: cost)")
+    redteam.add_argument("--timeout", type=float, default=None,
+                         help="per-point wall-clock budget in s (pool mode)")
+    redteam.add_argument("--archive-dir", default="tests/faults/reproducers",
+                         help="reproducer fixture corpus (default: "
+                              "tests/faults/reproducers)")
+    redteam.add_argument("--no-archive", action="store_true",
+                         help="neither read nor write the corpus; every "
+                              "champion counts as new")
+    redteam.add_argument("--out", default=None,
+                         help="campaign report path (default: "
+                              ".repro-cache/redteam-campaign.json)")
+
     # the bench gate owns its full flag set (it is also reachable as
     # ``benchmarks/perf_gate.py``); argparse's REMAINDER cannot forward
     # leading optionals through a subparser, so dispatch before parsing
@@ -607,6 +734,7 @@ def main(argv: list[str] | None = None) -> int:
         "chaos": _cmd_chaos,
         "trace": _cmd_trace,
         "ess": _cmd_ess,
+        "redteam": _cmd_redteam,
     }
     return handlers[args.command](args)
 

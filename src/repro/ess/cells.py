@@ -128,15 +128,21 @@ class Cell:
         self.resident: dict[int, RoamingCall] = {}
         self._heap: list[tuple[float, int, str, RoamingCall]] = []
         self._seq = itertools.count()
+        #: AP outage flag (set by the coordinator at epoch granularity);
+        #: while down the cell sheds residents and refuses all arrivals
+        self.down = False
         # -- per-cell ledger ------------------------------------------------
         self.attempts_new = 0
         self.admitted_new = 0
         self.blocked = 0
+        self.blocked_ap_down = 0
         self.completed = 0
         self.handoff_in = 0
         self.handoff_in_admitted = 0
         self.handoff_dropped_admission = 0
+        self.handoff_dropped_ap_down = 0
         self.handoff_out = 0
+        self.shed_ap_down = 0
         # occupancy time-integral for mean-occupancy reporting
         self._occ_time = 0.0
         self._occ_last_t = 0.0
@@ -157,6 +163,26 @@ class Cell:
     def deliver_handoff(self, time: float, call: RoamingCall) -> None:
         """Coordinator delivers a routed inbound handoff arrival."""
         heapq.heappush(self._heap, (time, next(self._seq), "handoff", call))
+
+    # -- AP outage ---------------------------------------------------------
+    def set_down(self, down: bool, now: float) -> int:
+        """Flip the AP-outage flag; going down sheds every resident call.
+
+        Shed calls leave the ESS immediately (their dwell events become
+        tombstones the event loop skips); the count lands in
+        ``shed_ap_down`` so the global conservation ledger still
+        balances.  Returns how many calls were shed by this transition.
+        """
+        if down == self.down:
+            return 0
+        self.down = down
+        if not down:
+            return 0
+        self._occ_advance(now)
+        shed = len(self.resident)
+        self.resident.clear()
+        self.shed_ap_down += shed
+        return shed
 
     # -- the epoch step ----------------------------------------------------
     def advance(self, t0: float, t1: float) -> list[HandoffDeparture]:
@@ -184,6 +210,10 @@ class Cell:
             self._occ_advance(time)
             if action == "handoff":
                 self._admit_handoff(time, call)
+            elif call.call_id not in self.resident:
+                # tombstone: the call was shed by an AP outage after
+                # its dwell event was scheduled — ledgered, not raised
+                continue
             elif action == "complete":
                 self._complete(call)
             else:  # "depart"
@@ -211,6 +241,12 @@ class Cell:
         )
         self._occ_advance(now)
         self.attempts_new += 1
+        if self.down:
+            # AP dark: the cell cannot serve anyone, but the arrival
+            # stream still advances so recovery epochs stay aligned
+            self.blocked += 1
+            self.blocked_ap_down += 1
+            return
         if self.occupancy >= self.config.capacity:
             self.blocked += 1
             return
@@ -220,6 +256,9 @@ class Cell:
 
     def _admit_handoff(self, now: float, call: RoamingCall) -> None:
         self.handoff_in += 1
+        if self.down:
+            self.handoff_dropped_ap_down += 1
+            return
         if self.occupancy >= self.config.handoff_capacity:
             self.handoff_dropped_admission += 1
             return
@@ -255,11 +294,14 @@ class Cell:
             "attempts_new": self.attempts_new,
             "admitted_new": self.admitted_new,
             "blocked": self.blocked,
+            "blocked_ap_down": self.blocked_ap_down,
             "completed": self.completed,
             "handoff_in": self.handoff_in,
             "handoff_in_admitted": self.handoff_in_admitted,
             "handoff_dropped_admission": self.handoff_dropped_admission,
+            "handoff_dropped_ap_down": self.handoff_dropped_ap_down,
             "handoff_out": self.handoff_out,
+            "shed_ap_down": self.shed_ap_down,
             "resident": self.occupancy,
             "mean_occupancy": self.mean_occupancy(horizon),
             "blocking_rate": (

@@ -38,7 +38,7 @@ import pathlib
 import typing
 import zlib
 
-from ..faults.plan import LinkFault
+from ..faults.plan import ApFault, LinkFault
 from ..network.mobility import EssCellContext
 from ..obs.registry import MetricsRegistry
 from ..sim.rng import RandomStreams
@@ -60,7 +60,7 @@ __all__ = [
     "save_report",
 ]
 
-ESS_REPORT_SCHEMA = "repro/ess-report/1"
+ESS_REPORT_SCHEMA = "repro/ess-report/2"
 
 FIDELITIES = ("calls", "frames")
 
@@ -92,6 +92,10 @@ class EssConfig:
     link_latency: float = 0.001
     #: backhaul outage windows (:class:`~repro.faults.plan.LinkFault`)
     backhaul_faults: tuple[LinkFault, ...] = ()
+    #: whole-AP outage windows (:class:`~repro.faults.plan.ApFault`);
+    #: a dark AP's cell sheds its calls and refuses arrivals, and the
+    #: router fails transit traffic over to disjoint alternates
+    ap_faults: tuple[ApFault, ...] = ()
     #: ``"calls"`` or ``"frames"`` (see module docstring)
     fidelity: str = "calls"
     #: per-(cell, epoch) frame-level sim length, frames fidelity only
@@ -130,6 +134,8 @@ class EssConfig:
             object.__setattr__(
                 self, "backhaul_faults", tuple(self.backhaul_faults)
             )
+        if not isinstance(self.ap_faults, tuple):
+            object.__setattr__(self, "ap_faults", tuple(self.ap_faults))
         # CellConfig re-validates rates/holding/capacity
         self.cell_config()
 
@@ -153,6 +159,7 @@ class EssConfig:
         d["backhaul_faults"] = [
             dataclasses.asdict(f) for f in self.backhaul_faults
         ]
+        d["ap_faults"] = [dataclasses.asdict(f) for f in self.ap_faults]
         return d
 
     @classmethod
@@ -161,6 +168,10 @@ class EssConfig:
         d["backhaul_faults"] = tuple(
             f if isinstance(f, LinkFault) else LinkFault(**f)
             for f in d.get("backhaul_faults", ())
+        )
+        d["ap_faults"] = tuple(
+            f if isinstance(f, ApFault) else ApFault(**f)
+            for f in d.get("ap_faults", ())
         )
         return cls(**d)
 
@@ -186,6 +197,13 @@ class EssCoordinator:
                 raise ValueError(
                     f"backhaul fault names a link the topology lacks: "
                     f"{fault.a!r}-{fault.b!r}"
+                )
+        ap_ids = set(self.graph.aps())
+        for ap_fault in config.ap_faults:
+            if ap_fault.ap not in ap_ids:
+                raise ValueError(
+                    f"AP fault names an AP the topology lacks: "
+                    f"{ap_fault.ap!r}"
                 )
         self.metrics = MetricsRegistry(subsystem="ess", seed=config.seed)
         self.router = BackhaulRouter(
@@ -221,7 +239,7 @@ class EssCoordinator:
         for epoch in range(cfg.epochs):
             t0 = epoch * cfg.epoch_length
             t1 = t0 + cfg.epoch_length
-            self._apply_link_faults(t0, t1)
+            self._apply_faults(t0, t1)
             for time, dst, call in self._inbox.pop(epoch, ()):
                 self.cells[dst].deliver_handoff(time, call)
             departures = []
@@ -244,12 +262,27 @@ class EssCoordinator:
             self.snapshots.append(self._ledger_snapshot(epoch))
             self._record_epoch_metrics(t1)
 
-    def _apply_link_faults(self, t0: float, t1: float) -> None:
+    def _apply_faults(self, t0: float, t1: float) -> None:
+        """Honour link and AP outage windows at epoch granularity.
+
+        A cell whose AP goes dark sheds its residents at the epoch
+        boundary (ledgered as ``shed_ap_down``), refuses arrivals for
+        the whole epoch, and the router treats every path through the
+        AP as unhealthy — graceful degradation, never an exception.
+        """
         self.router.faulted_links = {
             fault.key()
             for fault in self.config.backhaul_faults
             if fault.active_during(t0, t1)
         }
+        dark = {
+            fault.ap
+            for fault in self.config.ap_faults
+            if fault.active_during(t0, t1)
+        }
+        self.router.faulted_aps = dark
+        for cell_id in sorted(self.cells):
+            self.cells[cell_id].set_down(cell_id in dark, t0)
 
     def _ledger_snapshot(self, epoch: int) -> EssLedgerSnapshot:
         cells = self.cells.values()
@@ -264,6 +297,9 @@ class EssCoordinator:
             dropped_backhaul=self.router.unroutable,
             resident=sum(c.occupancy for c in cells),
             in_transit=self.handoffs_sent - handoffs_seen,
+            dropped_ap_down=sum(
+                c.shed_ap_down + c.handoff_dropped_ap_down for c in cells
+            ),
         )
 
     def _record_epoch_metrics(self, now: float) -> None:
@@ -380,6 +416,7 @@ class EssCoordinator:
                 "blocked": sum(c.blocked for c in self.cells.values()),
                 "dropped_admission": final.dropped_admission,
                 "dropped_backhaul": final.dropped_backhaul,
+                "dropped_ap_down": final.dropped_ap_down,
                 "dropped_total": dropped_total,
                 "resident_final": final.resident,
                 "in_transit_final": final.in_transit,

@@ -8,8 +8,12 @@ intermediate AP with the primary, any single link or AP fault leaves
 at least one alternate intact on a 2-connected topology — the failover
 requires no recomputation, just walking down the pre-computed list.
 
-Link health is driven from the outside (the coordinator applies
-:class:`~repro.faults.plan.LinkFault` windows at epoch boundaries).
+Link and AP health are driven from the outside (the coordinator
+applies :class:`~repro.faults.plan.LinkFault` and
+:class:`~repro.faults.plan.ApFault` windows at epoch boundaries).  A
+faulted AP poisons every path it appears on — endpoints included, so
+routing toward a dark AP is unroutable by construction while transit
+traffic between healthy APs fails over to the node-disjoint alternate.
 Per-pair and per-link traffic, failover and unroutable counts land in
 a :class:`~repro.obs.registry.MetricsRegistry`.
 """
@@ -67,11 +71,14 @@ class BackhaulRouter:
         self._paths: dict[tuple[str, str], tuple[tuple[str, ...], ...]] = {}
         #: canonically-keyed links currently considered down
         self.faulted_links: set[tuple[str, str]] = set()
+        #: APs currently dark (whole-node outages); every path through
+        #: one — endpoints included — is unhealthy
+        self.faulted_aps: set[str] = set()
         self.routed = 0
         self.failovers = 0
         self.unroutable = 0
 
-    # -- link health -------------------------------------------------------
+    # -- link / AP health --------------------------------------------------
     def set_link_health(self, a: str, b: str, healthy: bool) -> None:
         if not self.graph.has_link(a, b):
             raise KeyError(f"no backhaul link {a!r}-{b!r}")
@@ -81,10 +88,23 @@ class BackhaulRouter:
         else:
             self.faulted_links.add(key)
 
+    def set_ap_health(self, ap: str, healthy: bool) -> None:
+        if ap not in self.graph.aps():
+            raise KeyError(f"no AP {ap!r} in the backhaul topology")
+        if healthy:
+            self.faulted_aps.discard(ap)
+        else:
+            self.faulted_aps.add(ap)
+
     def link_is_healthy(self, a: str, b: str) -> bool:
         return link_key(a, b) not in self.faulted_links
 
+    def ap_is_healthy(self, ap: str) -> bool:
+        return ap not in self.faulted_aps
+
     def path_is_healthy(self, path: typing.Sequence[str]) -> bool:
+        if self.faulted_aps and any(ap in self.faulted_aps for ap in path):
+            return False
         return all(
             link_key(a, b) not in self.faulted_links
             for a, b in zip(path, path[1:])
@@ -158,5 +178,6 @@ class BackhaulRouter:
             "faulted_links": sorted(
                 f"{a}|{b}" for a, b in self.faulted_links
             ),
+            "faulted_aps": sorted(self.faulted_aps),
             "disjoint_paths_per_pair": self.k,
         }

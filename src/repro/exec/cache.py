@@ -48,7 +48,11 @@ class ResultCache:
         except (OSError, ValueError):
             self.misses += 1
             return None
-        if entry.get("format") != KEY_FORMAT or "row" not in entry:
+        if (
+            not isinstance(entry, dict)
+            or entry.get("format") != KEY_FORMAT
+            or "row" not in entry
+        ):
             self.misses += 1
             return None
         self.hits += 1

@@ -37,6 +37,7 @@ import dataclasses
 import itertools
 import time
 import typing
+import warnings
 
 from ..network.bss import BssScenario, ScenarioConfig
 from .cache import DEFAULT_CACHE_DIR, ResultCache
@@ -108,9 +109,10 @@ class ExecutorConfig:
 
     #: warm-worker count; ``1`` means serial in-process execution
     workers: int = 1
-    #: legacy knob of the retired chunked-pool path; accepted and
+    #: deprecated knob of the retired chunked-pool path; accepted and
     #: validated for API compatibility, ignored by the warm pool
-    #: (dispatch is one in-flight point per worker)
+    #: (dispatch is one in-flight point per worker).  Passing a
+    #: non-default value emits a :class:`DeprecationWarning`
     chunk_size: int = 4
     #: per-point wall-clock budget in seconds (pool mode only) — a
     #: point outliving it marks its worker wedged and restarts it
@@ -128,12 +130,38 @@ class ExecutorConfig:
     #: dispatch order in pool mode: ``"cost"`` = longest-expected-first
     #: with online refinement (default), ``"fifo"`` = grid order
     schedule: str = "cost"
+    #: per-worker-slot restart budget: how many times one slot may be
+    #: respawned (crash or wedge) before it is retired for the run.
+    #: A retired slot's in-flight point fails permanently — a poison
+    #: point costs at most ``workers x (budget + 1)`` process spawns,
+    #: never an unbounded restart storm
+    max_worker_restarts: int = 3
+    #: base of the exponential restart backoff: the ``n``-th respawn of
+    #: one slot waits ``restart_backoff * 2**(n-1)`` seconds (capped at
+    #: 30 s); ``0`` disables the wait (tests)
+    restart_backoff: float = 0.1
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
         if self.chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {self.chunk_size}")
+        if self.chunk_size != 4:
+            warnings.warn(
+                "ExecutorConfig.chunk_size is deprecated and ignored: the "
+                "warm pool dispatches one in-flight point per worker",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+        if self.max_worker_restarts < 0:
+            raise ValueError(
+                f"max_worker_restarts must be >= 0, "
+                f"got {self.max_worker_restarts}"
+            )
+        if self.restart_backoff < 0:
+            raise ValueError(
+                f"restart_backoff must be >= 0, got {self.restart_backoff}"
+            )
         if self.timeout is not None and self.timeout <= 0:
             raise ValueError(f"timeout must be > 0, got {self.timeout}")
         if self.retries < 0:
@@ -183,6 +211,7 @@ class SweepExecutor:
         if journal is not None:
             if cfg.resume:
                 journaled = journal.load()
+                tel.journal_skipped_lines = journal.skipped_lines
             journal.start(resume=cfg.resume)
 
         pending: list[int] = []
@@ -324,18 +353,45 @@ class SweepExecutor:
         # only its delta against it
         base = configs[pending[0]].to_dict()
 
+        def fail_point(index: int, used: int, error: str) -> None:
+            failures.append(PointFailure(index, configs[index], error))
+            self._emit(
+                tel, index, configs[index], "failed",
+                attempts=used, error=error,
+            )
+
         def fail_or_requeue(index: int, used: int, error: str) -> None:
             if used <= cfg.retries:
                 tel.retries += 1
                 scheduler.add(index, configs[index])
             else:
-                failures.append(PointFailure(index, configs[index], error))
-                self._emit(
-                    tel, index, configs[index], "failed",
-                    attempts=used, error=error,
-                )
+                fail_point(index, used, error)
 
         pool = WorkerPool(cfg.workers, base, self.point_fn)
+        #: per-slot respawn counts for this run; one slot exceeding
+        #: ``max_worker_restarts`` is retired, not restarted — the
+        #: restart-storm guard a poison point would otherwise trigger
+        slot_restarts: dict[int, int] = {}
+
+        def respawn(worker) -> bool:
+            """Restart one slot within budget; retire it past budget.
+
+            Returns ``False`` when the slot was retired, in which case
+            the caller must fail the in-flight point permanently
+            instead of requeueing it.
+            """
+            n = slot_restarts.get(worker.worker_id, 0) + 1
+            slot_restarts[worker.worker_id] = n
+            if n > cfg.max_worker_restarts:
+                tel.restart_budget_exhausted += 1
+                pool.retire(worker)
+                return False
+            if cfg.restart_backoff > 0:
+                # exponential backoff: a crash-looping environment gets
+                # geometrically rarer respawns instead of a hot loop
+                time.sleep(min(cfg.restart_backoff * 2 ** (n - 1), 30.0))
+            pool.restart(worker)
+            return True
         #: task_id -> grid index for every dispatched, unresolved task;
         #: task ids are fresh per attempt, so a stale message from a
         #: killed worker can never resolve a retried point
@@ -400,6 +456,7 @@ class SweepExecutor:
 
                 for worker in dead:
                     task_id = worker.current
+                    index = None
                     if task_id is not None and task_id in tasks:
                         index = tasks.pop(task_id)
                         attempts[index] += 1
@@ -407,13 +464,20 @@ class SweepExecutor:
                             tel.busy_worker_s += (
                                 time.perf_counter() - worker.started
                             )
-                        fail_or_requeue(
+                    error = (
+                        f"worker {worker.worker_id} died "
+                        f"(exitcode {worker.process.exitcode})"
+                    )
+                    if respawn(worker):
+                        if index is not None:
+                            fail_or_requeue(index, attempts[index], error)
+                    elif index is not None:
+                        fail_point(
                             index,
                             attempts[index],
-                            f"worker {worker.worker_id} died "
-                            f"(exitcode {worker.process.exitcode})",
+                            f"{error}; slot retired after exhausting its "
+                            f"restart budget ({cfg.max_worker_restarts})",
                         )
-                    pool.restart(worker)
 
                 if cfg.timeout is not None:
                     now = time.perf_counter()
@@ -428,14 +492,33 @@ class SweepExecutor:
                         index = tasks.pop(task_id, None)
                         if index is not None:
                             attempts[index] += 1
-                            fail_or_requeue(
+                        error = f"timed out after {cfg.timeout}s"
+                        # the wedged process burns a core until killed;
+                        # only this slot restarts (budget permitting),
+                        # siblings keep going
+                        if respawn(worker):
+                            if index is not None:
+                                fail_or_requeue(index, attempts[index], error)
+                        elif index is not None:
+                            fail_point(
                                 index,
                                 attempts[index],
-                                f"timed out after {cfg.timeout}s",
+                                f"{error}; slot retired after exhausting "
+                                f"its restart budget "
+                                f"({cfg.max_worker_restarts})",
                             )
-                        # the wedged process burns a core until killed;
-                        # only this slot restarts, siblings keep going
-                        pool.restart(worker)
+
+                if not pool.workers:
+                    # every slot retired: nothing can execute the rest
+                    while scheduler:
+                        index, _config = scheduler.pop()
+                        fail_point(
+                            index,
+                            attempts[index],
+                            "no workers left: every slot exhausted its "
+                            "restart budget",
+                        )
+                    break
 
             tel.set_phases(warmup_s, steady_s, drain_s, capacity_s)
         finally:

@@ -15,6 +15,13 @@ resume is order-independent.  The file handle is held open across
 appends (one ``open`` per sweep instead of one per point) with an
 explicit flush per row, so a ``SIGKILL`` still loses at most the line
 being written.
+
+Corruption *anywhere* in the file — not just the truncated tail — is
+survivable: a mid-file line that fails to parse (disk corruption, a
+concurrent writer, a hand edit) is skipped with a warning, counted in
+:attr:`SweepJournal.skipped_lines` (surfaced as
+``journal_skipped_lines`` in run telemetry), and the affected keys
+simply re-run on resume because they never enter the loaded dict.
 """
 
 from __future__ import annotations
@@ -22,6 +29,7 @@ from __future__ import annotations
 import json
 import pathlib
 import typing
+import warnings
 
 from .hashing import KEY_FORMAT, canonical_json
 
@@ -34,6 +42,8 @@ class SweepJournal:
     def __init__(self, path: str | pathlib.Path) -> None:
         self.path = pathlib.Path(path)
         self._fh: typing.IO[str] | None = None
+        #: corrupt/unparseable lines the most recent :meth:`load` skipped
+        self.skipped_lines = 0
 
     def exists(self) -> bool:
         return self.path.is_file()
@@ -43,8 +53,11 @@ class SweepJournal:
 
         Tolerates a missing file, a foreign/old manifest (returns
         nothing, so every point re-runs) and corrupt or truncated
-        lines (skipped).
+        lines *anywhere* in the file — each skipped line is counted in
+        :attr:`skipped_lines` and a single warning summarizes them, so
+        silent data loss is impossible and the affected keys re-run.
         """
+        self.skipped_lines = 0
         if not self.exists():
             return {}
         done: dict[str, dict[str, typing.Any]] = {}
@@ -65,10 +78,25 @@ class SweepJournal:
                 try:
                     entry = json.loads(line)
                 except ValueError:
-                    continue  # truncated tail from a killed run
+                    # mid-file corruption or a truncated tail from a
+                    # killed run: skip the line, re-run its point
+                    self.skipped_lines += 1
+                    continue
+                if not isinstance(entry, dict):
+                    self.skipped_lines += 1
+                    continue
                 key, row = entry.get("key"), entry.get("row")
                 if isinstance(key, str) and isinstance(row, dict):
                     done[key] = row
+                else:
+                    self.skipped_lines += 1
+        if self.skipped_lines:
+            warnings.warn(
+                f"journal {self.path}: skipped {self.skipped_lines} "
+                "corrupt line(s); the affected points will re-run",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         return done
 
     def start(self, resume: bool = False) -> None:

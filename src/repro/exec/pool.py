@@ -239,6 +239,17 @@ class WorkerPool:
         self.restarts += 1
         return replacement
 
+    def retire(self, worker: WorkerHandle) -> None:
+        """Permanently remove one worker slot (restart budget exhausted).
+
+        The slot is terminated and dropped from the pool; the sweep
+        carries on with reduced capacity instead of looping through a
+        restart storm.  An empty pool is the caller's signal to fail
+        the remaining points permanently.
+        """
+        worker.terminate()
+        self.workers.remove(worker)
+
     def shutdown(self) -> None:
         """Graceful EOF to every worker, then hard-stop stragglers."""
         for worker in self.workers:

@@ -74,6 +74,11 @@ class RunTelemetry:
         #: and is kept only for summary-shape compatibility
         self.worker_restarts = 0
         self.pool_rebuilds = 0
+        #: worker slots retired after exhausting their restart budget
+        #: (a poison point can cost restarts, never a restart storm)
+        self.restart_budget_exhausted = 0
+        #: corrupt journal lines skipped while loading the resume state
+        self.journal_skipped_lines = 0
         #: worker-seconds actually spent executing attempts (successful
         #: or not); the executor accumulates this at completion sites
         self.busy_worker_s = 0.0
@@ -140,6 +145,8 @@ class RunTelemetry:
             "retries": self.retries,
             "timeouts": self.timeouts,
             "worker_restarts": self.worker_restarts,
+            "restart_budget_exhausted": self.restart_budget_exhausted,
+            "journal_skipped_lines": self.journal_skipped_lines,
             "pool_rebuilds": self.pool_rebuilds,
             "workers": self.workers,
             "wall_time": elapsed,

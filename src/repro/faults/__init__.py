@@ -28,6 +28,7 @@ from .injector import FrameLossInjector
 from .plan import (
     FAULT_KINDS,
     FAULT_MODES,
+    ApFault,
     FaultPlan,
     FrameLossRule,
     GilbertElliottParams,
@@ -42,6 +43,7 @@ __all__ = [
     "FrameLossRule",
     "StationFault",
     "LinkFault",
+    "ApFault",
     "FAULT_MODES",
     "FAULT_KINDS",
     "GilbertElliottModel",

@@ -35,6 +35,7 @@ __all__ = [
     "FrameLossRule",
     "StationFault",
     "LinkFault",
+    "ApFault",
     "FaultPlan",
     "FAULT_MODES",
     "FAULT_KINDS",
@@ -173,6 +174,39 @@ class LinkFault:
     def key(self) -> tuple[str, str]:
         """Canonical undirected link identity."""
         return (self.a, self.b) if self.a <= self.b else (self.b, self.a)
+
+    def active_during(self, t0: float, t1: float) -> bool:
+        """Does the outage overlap the ``[t0, t1)`` window?"""
+        return self.start < t1 and (self.end is None or self.end > t0)
+
+
+@dataclasses.dataclass(frozen=True)
+class ApFault:
+    """One whole-AP outage window in an ESS topology.
+
+    ``ap`` names the access point that goes dark.  The AP is down from
+    ``start`` until ``end`` (``None`` = for the rest of the run).
+    While it is down its microcell sheds resident calls, refuses new
+    admissions and inbound handoffs (all ledgered, never raised), and
+    the backhaul router treats every path through the AP as unhealthy —
+    traffic between healthy APs fails over to the node-disjoint
+    alternate exactly as under a :class:`LinkFault`.  Windows are
+    honoured at epoch granularity (same convention as link faults).
+    """
+
+    ap: str
+    start: float = 0.0
+    end: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.ap:
+            raise ValueError("ap must be a non-empty AP id")
+        if self.start < 0.0:
+            raise ValueError(f"start must be >= 0, got {self.start}")
+        if self.end is not None and self.end <= self.start:
+            raise ValueError(
+                f"need end > start, got [{self.start}, {self.end})"
+            )
 
     def active_during(self, t0: float, t1: float) -> bool:
         """Does the outage overlap the ``[t0, t1)`` window?"""

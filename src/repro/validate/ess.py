@@ -4,10 +4,11 @@ The single-BSS invariant monitors (:mod:`repro.validate.invariants`)
 gate one cell's internals; the ESS coordinator needs the *global*
 ledger to balance across cells and across the backhaul: every call
 admitted anywhere in the ESS is, at any epoch boundary, in exactly one
-of five states — completed, dropped at handoff admission, dropped by an
-unroutable backhaul, resident in some cell, or in transit between two
-cells.  Blocked new calls never enter the ledger (they were never
-admitted).
+of six states — completed, dropped at handoff admission, dropped by an
+unroutable backhaul, dropped by an AP outage (shed while resident or
+refused on inbound delivery to a dark cell), resident in some cell, or
+in transit between two cells.  Blocked new calls never enter the
+ledger (they were never admitted).
 
 Violations are rendered as strings (same convention as
 :class:`~repro.validate.invariants.Violation`) so the ESS report can
@@ -43,10 +44,17 @@ class EssLedgerSnapshot:
     resident: int
     #: routed handoffs not yet processed by their target cell
     in_transit: int
+    #: calls lost to AP outages: shed while resident in a cell whose AP
+    #: went dark, plus inbound handoffs refused by a dark cell
+    dropped_ap_down: int = 0
 
     @property
     def dropped_total(self) -> int:
-        return self.dropped_admission + self.dropped_backhaul
+        return (
+            self.dropped_admission
+            + self.dropped_backhaul
+            + self.dropped_ap_down
+        )
 
     def violation(self) -> str | None:
         """``created = completed + dropped + resident + in_transit``."""
@@ -62,6 +70,7 @@ class EssLedgerSnapshot:
                 f"created={self.created} != completed={self.completed} "
                 f"+ dropped_admission={self.dropped_admission} "
                 f"+ dropped_backhaul={self.dropped_backhaul} "
+                f"+ dropped_ap_down={self.dropped_ap_down} "
                 f"+ resident={self.resident} + in_transit={self.in_transit} "
                 f"(= {accounted})"
             )
@@ -70,6 +79,7 @@ class EssLedgerSnapshot:
             self.completed,
             self.dropped_admission,
             self.dropped_backhaul,
+            self.dropped_ap_down,
             self.resident,
             self.in_transit,
         ) < 0:
@@ -99,8 +109,15 @@ def cell_ledger_violations(
     still resident; attempts must split exactly into admitted/refused.
     """
     out = []
+    shed = ledger.get("shed_ap_down", 0)
+    ho_ap_down = ledger.get("handoff_dropped_ap_down", 0)
     inflow = ledger["admitted_new"] + ledger["handoff_in_admitted"]
-    outflow = ledger["completed"] + ledger["handoff_out"] + ledger["resident"]
+    outflow = (
+        ledger["completed"]
+        + ledger["handoff_out"]
+        + ledger["resident"]
+        + shed
+    )
     if inflow != outflow:
         out.append(
             f"cell {cell_id}: flow imbalance: in={inflow} != out={outflow}"
@@ -113,12 +130,14 @@ def cell_ledger_violations(
         )
     if (
         ledger["handoff_in"]
-        != ledger["handoff_in_admitted"] + ledger["handoff_dropped_admission"]
+        != ledger["handoff_in_admitted"]
+        + ledger["handoff_dropped_admission"]
+        + ho_ap_down
     ):
         out.append(
             f"cell {cell_id}: inbound handoffs do not split into "
             f"admitted + dropped: {ledger['handoff_in']} != "
             f"{ledger['handoff_in_admitted']} + "
-            f"{ledger['handoff_dropped_admission']}"
+            f"{ledger['handoff_dropped_admission']} + {ho_ap_down}"
         )
     return out

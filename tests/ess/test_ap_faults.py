@@ -1,0 +1,97 @@
+"""Whole-AP outages: shedding, blocking, routing around, recovery."""
+
+import json
+
+import pytest
+
+from repro.ess import EssConfig, run_ess
+from repro.ess.coordinator import ESS_REPORT_SCHEMA
+from repro.faults import ApFault
+
+
+def _config(**overrides):
+    base = dict(
+        rows=2,
+        cols=2,
+        seed=3,
+        epochs=4,
+        epoch_length=20.0,
+        new_call_rate=0.15,
+        mean_holding=40.0,
+        mean_residence=20.0,
+        capacity=8,
+    )
+    base.update(overrides)
+    return EssConfig(**base)
+
+
+def test_ap_fault_validates_against_topology():
+    with pytest.raises(ValueError, match="AP the topology lacks"):
+        run_ess(_config(ap_faults=(ApFault(ap="ap/9x9"),)))
+
+
+def test_ap_fault_round_trips_through_config_dict():
+    cfg = _config(ap_faults=(ApFault(ap="ap/0x1", start=10.0, end=50.0),))
+    assert EssConfig.from_dict(cfg.to_dict()) == cfg
+
+
+def test_permanent_ap_outage_sheds_blocks_and_conserves():
+    dark = "ap/0x1"
+    report = run_ess(_config(ap_faults=(ApFault(ap=dark),)))
+
+    # conservation holds with the dropped_ap_down term in the ledger
+    assert report["schema"] == ESS_REPORT_SCHEMA
+    assert report["passed"], report["conservation"]["violations"]
+
+    cell = report["per_cell"][dark]
+    # a dark cell admits nothing and hosts nothing
+    assert cell["resident"] == 0
+    assert cell["completed"] == 0
+    assert cell["blocked_ap_down"] > 0
+    assert cell["handoff_in"] == 0
+    # roamers toward the dark cell die at backhaul routing (no healthy
+    # path ends at a faulted AP), never inside the cell
+    totals = report["totals"]
+    assert totals["dropped_backhaul"] > 0
+    assert totals["dropped_ap_down"] == sum(
+        c["handoff_dropped_ap_down"] + c["shed_ap_down"]
+        for c in report["per_cell"].values()
+    )
+
+
+def test_windowed_outage_sheds_then_recovers():
+    dark = "ap/1x0"
+    fault = ApFault(ap=dark, start=20.0, end=60.0)
+    report = run_ess(_config(ap_faults=(fault,)))
+
+    assert report["passed"], report["conservation"]["violations"]
+    cell = report["per_cell"][dark]
+    # calls admitted before the outage are shed at the fault boundary...
+    assert cell["shed_ap_down"] + cell["blocked_ap_down"] > 0
+    # ...and the cell serves calls again after recovery
+    assert cell["resident"] + cell["completed"] > 0
+
+
+def test_faulted_ap_is_avoided_by_backhaul_routing():
+    # 2x2 grid: with ap/1x1 dark, the ap/0x0 <-> ap/0x1 pair keeps its
+    # direct path but loses the disjoint detour through row 1
+    report = run_ess(_config(ap_faults=(ApFault(ap="ap/1x1"),)))
+    assert report["passed"]
+    assert report["backhaul"]["faulted_aps"] == ["ap/1x1"]
+
+
+def test_ap_fault_report_is_deterministic():
+    cfg = _config(ap_faults=(ApFault(ap="ap/0x0", start=15.0, end=45.0),))
+    a = json.dumps(run_ess(cfg), sort_keys=True)
+    b = json.dumps(run_ess(cfg), sort_keys=True)
+    assert a == b
+
+
+def test_fault_free_report_unchanged_by_feature():
+    """An empty ap_faults tuple must not perturb the baseline run."""
+    baseline = run_ess(_config())
+    explicit = run_ess(_config(ap_faults=()))
+    assert json.dumps(baseline, sort_keys=True) == json.dumps(
+        explicit, sort_keys=True
+    )
+    assert baseline["totals"]["dropped_ap_down"] == 0

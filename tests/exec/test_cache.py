@@ -48,6 +48,47 @@ def test_clear_removes_everything(tmp_path):
     assert len(cache) == 0
 
 
+def test_sweep_recovers_from_corrupt_cache_entry(tmp_path):
+    """A garbled entry is recomputed and rewritten, not fatal.
+
+    Pins the ``except (OSError, ValueError)`` miss path in
+    ``ResultCache.get`` at the executor level: corruption costs one
+    re-simulation, never a crash or a poisoned row.
+    """
+    from repro.exec import ExecutorConfig, SweepExecutor
+
+    def _point(config):
+        return {"seed": config.seed, "load": config.load}
+
+    cache_dir = tmp_path / "cache"
+    grid = [ScenarioConfig(seed=s, sim_time=4.0, warmup=1.0) for s in (1, 2)]
+    first = SweepExecutor(
+        ExecutorConfig(cache_dir=str(cache_dir)), point_fn=_point
+    )
+    rows1 = first.run(grid)
+
+    # garble exactly one entry on disk
+    victim = cache_dir / "results" / f"{config_key(grid[0])}.json"
+    victim.write_text('{"key": "truncated')
+
+    second = SweepExecutor(
+        ExecutorConfig(cache_dir=str(cache_dir)), point_fn=_point
+    )
+    rows2 = second.run(grid)
+    assert rows2 == rows1
+    summary = second.summary()
+    assert summary["executed"] == 1  # only the garbled point re-ran
+    assert summary["cache_hits"] == 1
+
+    # the recomputation rewrote the entry: a third run is all hits
+    third = SweepExecutor(
+        ExecutorConfig(cache_dir=str(cache_dir)), point_fn=_point
+    )
+    third.run(grid)
+    assert third.summary()["cache_hits"] == 2
+    assert third.summary()["executed"] == 0
+
+
 def test_distinct_configs_do_not_collide(tmp_path):
     cache = ResultCache(tmp_path / "cache")
     a, b = ScenarioConfig(seed=1), ScenarioConfig(seed=2)

@@ -176,6 +176,49 @@ class TestResume:
         assert executor.summary()["executed"] == 1
         assert [r["seed"] for r in rows] == [1, 2, 3]
 
+    def test_resume_reruns_points_behind_corrupt_midfile_lines(
+        self, tmp_path
+    ):
+        """Garbage in the middle of the journal loses only those rows."""
+        journal_path = tmp_path / "journal.jsonl"
+        grid = _grid(4)
+        SweepExecutor(
+            ExecutorConfig(journal=str(journal_path)), point_fn=_tiny_point
+        ).run(grid)
+
+        # corrupt rows 2 and 3 in place: one unparseable, one wrong shape
+        lines = journal_path.read_text().splitlines()
+        assert len(lines) == 5  # manifest + 4 rows
+        lines[2] = lines[2][: len(lines[2]) // 2] + "#disk-rot"
+        lines[3] = json.dumps({"key": 123, "row": "not-a-dict"})
+        journal_path.write_text("\n".join(lines) + "\n")
+
+        executor = SweepExecutor(
+            ExecutorConfig(journal=str(journal_path), resume=True),
+            point_fn=_tiny_point,
+        )
+        with pytest.warns(RuntimeWarning, match="skipped 2 corrupt"):
+            rows = executor.run(grid)
+
+        # every point is present: intact rows resumed, corrupt ones re-ran
+        assert [r["seed"] for r in rows] == [1, 2, 3, 4]
+        summary = executor.summary()
+        assert summary["resumed"] == 2
+        assert summary["executed"] == 2
+        assert summary["journal_skipped_lines"] == 2
+
+        # the re-run appended fresh rows for the lost keys: a second
+        # resume skips the same corrupt lines but re-runs nothing
+        again = SweepExecutor(
+            ExecutorConfig(journal=str(journal_path), resume=True),
+            point_fn=_tiny_point,
+        )
+        with pytest.warns(RuntimeWarning, match="skipped 2 corrupt"):
+            again.run(grid)
+        assert again.summary()["resumed"] == 4
+        assert again.summary()["executed"] == 0
+        assert again.summary()["journal_skipped_lines"] == 2
+
     def test_fresh_run_truncates_journal(self, tmp_path):
         journal = str(tmp_path / "journal.jsonl")
         SweepExecutor(
@@ -297,6 +340,21 @@ class TestExecutorConfig:
     def test_summary_requires_a_run(self):
         with pytest.raises(RuntimeError):
             SweepExecutor().summary()
+
+    def test_nondefault_chunk_size_warns_deprecated(self):
+        with pytest.warns(DeprecationWarning, match="chunk_size"):
+            ExecutorConfig(chunk_size=8)
+
+    def test_default_chunk_size_stays_silent(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            ExecutorConfig()  # the default never warns
+
+    def test_invalid_chunk_size_still_raises_not_warns(self):
+        with pytest.raises(ValueError, match="chunk_size"):
+            ExecutorConfig(chunk_size=0)
 
     def test_telemetry_summary_shape(self, tmp_path):
         cache = str(tmp_path / "cache")

@@ -47,3 +47,43 @@ def test_foreign_manifest_ignored(tmp_path):
     path = tmp_path / "j.jsonl"
     path.write_text('{"something": "else"}\n{"key": "k1", "row": {}}\n')
     assert SweepJournal(path).load() == {}
+
+
+def test_midfile_corruption_skips_warns_and_counts(tmp_path):
+    import json
+
+    import pytest
+
+    journal = SweepJournal(tmp_path / "j.jsonl")
+    journal.start()
+    for key in ("k1", "k2", "k3"):
+        journal.append(key, {"key": key})
+    journal.close()
+
+    # rot the middle line only; the tail stays intact
+    lines = journal.path.read_text().splitlines()
+    lines[2] = lines[2][:8] + "}}}garbage"
+    journal.path.write_text("\n".join(lines) + "\n")
+
+    with pytest.warns(RuntimeWarning, match="skipped 1 corrupt"):
+        done = journal.load()
+    assert sorted(done) == ["k1", "k3"]  # lines past the rot survive
+    assert journal.skipped_lines == 1
+
+    # wrong-shaped but parseable entries count as corrupt too
+    with journal.path.open("a") as fh:
+        fh.write(json.dumps({"key": 42, "row": []}) + "\n")
+        fh.write(json.dumps(["not", "an", "entry"]) + "\n")
+    with pytest.warns(RuntimeWarning, match="skipped 3 corrupt"):
+        journal.load()
+    assert journal.skipped_lines == 3
+
+
+def test_clean_load_resets_the_skip_counter(tmp_path):
+    journal = SweepJournal(tmp_path / "j.jsonl")
+    journal.start()
+    journal.append("k1", {"seed": 1})
+    journal.close()
+    journal.skipped_lines = 7  # stale from a previous corrupt load
+    assert journal.load() == {"k1": {"seed": 1}}
+    assert journal.skipped_lines == 0

@@ -1,0 +1,66 @@
+"""The archived reproducer corpus must replay its breaches forever.
+
+Every fixture under ``tests/faults/reproducers/`` is a minimal genome
+a past redteam campaign found, shrank and archived, together with the
+exact verdict it produced.  Replaying re-evaluates the genome under
+the fixture's own settings and objective and demands the identical
+verdict — breached flag, score, signature and metrics — so a behavior
+change that silently un-reproduces (or reshapes) a known breach fails
+here, not in the field.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.redteam import (
+    REPRODUCER_SCHEMA,
+    Reproducer,
+    load_reproducers,
+    replay_reproducer,
+    reproducer_name,
+)
+
+CORPUS_DIR = pathlib.Path(__file__).parent / "reproducers"
+CORPUS = load_reproducers(CORPUS_DIR)
+
+
+def test_corpus_is_not_empty():
+    """The repo ships at least one archived breach per surface."""
+    assert CORPUS, f"no reproducer fixtures in {CORPUS_DIR}"
+    assert {rep.genome.surface for rep in CORPUS} == {"bss", "ess"}
+
+
+@pytest.mark.parametrize(
+    "rep", CORPUS, ids=[rep.name for rep in CORPUS]
+)
+def test_fixture_is_well_formed(rep):
+    assert rep.name == reproducer_name(rep.genome)
+    assert rep.verdict.breached
+    assert rep.verdict.signature
+    # the stored file round-trips through the dataclasses byte-exactly
+    path = CORPUS_DIR / f"{rep.name}.json"
+    data = json.loads(path.read_text())
+    assert data["schema"] == REPRODUCER_SCHEMA
+    assert Reproducer.from_dict(data) == rep
+    assert json.dumps(data, indent=2, sort_keys=True) + "\n" == (
+        path.read_text()
+    )
+
+
+@pytest.mark.parametrize(
+    "rep", CORPUS, ids=[rep.name for rep in CORPUS]
+)
+def test_fixture_replays_its_recorded_verdict(rep):
+    ok, fresh = replay_reproducer(rep)
+    assert ok, (
+        f"{rep.name} no longer reproduces its archived breach:\n"
+        f"  recorded: {rep.verdict.to_dict()}\n"
+        f"  fresh:    {fresh.to_dict()}"
+    )
+
+
+def test_rejects_foreign_schema(tmp_path):
+    with pytest.raises(ValueError, match="schema"):
+        Reproducer.from_dict({"schema": "repro/other/1"})

@@ -1,0 +1,161 @@
+"""ScenarioGenome: validation, serialization, mutation, decoding."""
+
+import random
+
+import pytest
+
+from repro.faults import ApFault, FrameLossRule, GilbertElliottParams, LinkFault
+from repro.redteam import (
+    SURFACES,
+    DecodeSettings,
+    ScenarioGenome,
+    mutate_genome,
+    random_genome,
+)
+
+
+SETTINGS = DecodeSettings()
+
+
+# -- validation -------------------------------------------------------------
+
+def test_rejects_unknown_surface():
+    with pytest.raises(ValueError, match="surface"):
+        ScenarioGenome(surface="wan")
+
+
+def test_rejects_nonpositive_load_and_stations():
+    with pytest.raises(ValueError, match="load"):
+        ScenarioGenome(load=0.0)
+    with pytest.raises(ValueError, match="stations"):
+        ScenarioGenome(stations=0)
+
+
+def test_bss_genome_rejects_ess_genes():
+    with pytest.raises(ValueError, match="ESS fault genes"):
+        ScenarioGenome(surface="bss", ap_faults=(ApFault(ap="ap/0x0"),))
+    with pytest.raises(ValueError, match="ESS fault genes"):
+        ScenarioGenome(
+            surface="bss", link_faults=(LinkFault(a="ap/0x0", b="ap/0x1"),)
+        )
+
+
+def test_ess_genome_rejects_bss_genes():
+    with pytest.raises(ValueError, match="BSS fault genes"):
+        ScenarioGenome(
+            surface="ess",
+            frame_loss=(FrameLossRule(ftype="ack", probability=0.5),),
+        )
+
+
+# -- serialization ----------------------------------------------------------
+
+@pytest.mark.parametrize("surface", SURFACES)
+def test_random_genomes_round_trip(surface):
+    rng = random.Random(42)
+    for _ in range(50):
+        genome = random_genome(rng, SETTINGS, surface)
+        clone = ScenarioGenome.from_dict(genome.to_dict())
+        assert clone == genome
+        assert clone.canonical() == genome.canonical()
+        assert clone.key() == genome.key()
+
+
+def test_key_is_stable_and_content_derived():
+    a = ScenarioGenome(surface="bss", seed=1, load=2.0)
+    b = ScenarioGenome(surface="bss", seed=1, load=2.0)
+    c = ScenarioGenome(surface="bss", seed=2, load=2.0)
+    assert a.key() == b.key()
+    assert a.key() != c.key()
+    assert len(a.key()) == 12
+
+
+def test_fault_clauses_counts_every_gene_family():
+    genome = ScenarioGenome(
+        surface="bss",
+        gilbert_elliott=GilbertElliottParams(p_good_to_bad=0.05, p_bad_to_good=0.3),
+        frame_loss=(FrameLossRule(ftype="ack", probability=0.3),),
+        station_faults=(),
+    )
+    assert genome.fault_clauses == 2
+    assert ScenarioGenome(surface="ess").fault_clauses == 0
+
+
+# -- generation / mutation --------------------------------------------------
+
+def test_random_generation_is_seed_deterministic():
+    a = [random_genome(random.Random(7), SETTINGS, s) for s in SURFACES]
+    b = [random_genome(random.Random(7), SETTINGS, s) for s in SURFACES]
+    assert a == b
+
+
+def test_mutation_is_seed_deterministic():
+    base = random_genome(random.Random(1), SETTINGS, "bss")
+    walk1, walk2 = [], []
+    for walk, seed in ((walk1, 5), (walk2, 5)):
+        rng = random.Random(seed)
+        g = base
+        for _ in range(20):
+            g = mutate_genome(rng, g, SETTINGS)
+            walk.append(g)
+    assert walk1 == walk2
+
+
+@pytest.mark.parametrize("surface", SURFACES)
+def test_mutants_stay_valid_and_on_surface(surface):
+    rng = random.Random(3)
+    genome = random_genome(rng, SETTINGS, surface)
+    for _ in range(200):
+        genome = mutate_genome(rng, genome, SETTINGS)  # __post_init__ guards
+        assert genome.surface == surface
+        assert genome.load > 0
+        assert genome.stations >= 1
+
+
+# -- decoding ---------------------------------------------------------------
+
+def test_decode_bss_arms_monitors_and_attaches_plan():
+    genome = ScenarioGenome(
+        surface="bss",
+        seed=2,
+        load=1.5,
+        stations=6,
+        frame_loss=(FrameLossRule(ftype="cf_poll", probability=0.2),),
+    )
+    cfg = genome.decode_bss(SETTINGS)
+    assert cfg.monitor_invariants is True
+    assert cfg.faults is not None
+    assert cfg.faults.frame_loss == genome.frame_loss
+    assert cfg.n_data_stations == 6
+    assert cfg.seed == 2
+    assert cfg.scheme == SETTINGS.scheme
+    assert cfg.sim_time == SETTINGS.sim_time
+
+
+def test_decode_ess_scales_rate_and_passes_faults():
+    fault = ApFault(ap="ap/0x1", start=10.0, end=40.0)
+    genome = ScenarioGenome(
+        surface="ess", seed=3, load=2.0, stations=9, ap_faults=(fault,)
+    )
+    cfg = genome.decode_ess(SETTINGS)
+    assert cfg.new_call_rate == pytest.approx(
+        SETTINGS.new_call_rate * 2.0
+    )
+    assert cfg.capacity == 9
+    assert cfg.ap_faults == (fault,)
+    assert cfg.rows == SETTINGS.rows and cfg.cols == SETTINGS.cols
+
+
+def test_decode_rejects_surface_mismatch():
+    with pytest.raises(ValueError, match="cannot decode"):
+        ScenarioGenome(surface="bss").decode_ess(SETTINGS)
+    with pytest.raises(ValueError, match="cannot decode"):
+        ScenarioGenome(surface="ess").decode_bss(SETTINGS)
+
+
+def test_decode_settings_round_trip_and_topology():
+    settings = DecodeSettings(rows=3, cols=2)
+    assert DecodeSettings.from_dict(settings.to_dict()) == settings
+    assert len(settings.ap_ids()) == 6
+    # rows*(cols-1) horizontal + (rows-1)*cols vertical
+    assert len(settings.links()) == 3 * 1 + 2 * 2

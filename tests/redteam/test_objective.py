@@ -1,0 +1,127 @@
+"""Breach objective: rows and ESS reports -> BreachVerdict."""
+
+import pytest
+
+from repro.redteam import BreachVerdict, ObjectiveConfig, score_bss_row, score_ess_report
+
+
+def _row(**overrides):
+    """A minimal clean monitored result row."""
+    row = {
+        "voice_delivered": 100,
+        "voice_losses": 0,
+        "video_delivered": 50,
+        "video_losses": 0,
+        "invariant_violations": [],
+        "faults": {"qos_breaches": []},
+    }
+    row.update(overrides)
+    return row
+
+
+def _ess_report(violations=(), drop_rate=0.0):
+    return {
+        "totals": {
+            "handoff_drop_rate": drop_rate,
+            "dropped_backhaul": 2,
+            "dropped_ap_down": 1,
+        },
+        "conservation": {"violations": list(violations)},
+    }
+
+
+# -- bss surface ------------------------------------------------------------
+
+def test_clean_row_is_not_breached():
+    verdict = score_bss_row(_row())
+    assert not verdict.breached
+    assert verdict.signature == ()
+    assert verdict.score == 0.0
+
+
+def test_qos_breach_signature_carries_kind():
+    row = _row(
+        faults={
+            "qos_breaches": [
+                {"station": "v1", "kind": "jitter",
+                 "measured": 0.004, "budget": 0.002},
+                {"station": "v2", "kind": "delay",
+                 "measured": 0.03, "budget": 0.02},
+            ]
+        }
+    )
+    verdict = score_bss_row(row)
+    assert verdict.breached
+    assert verdict.signature == ("qos:delay", "qos:jitter")
+    # 2 breaches * 1.0 + worst ratio 2.0 * 10.0
+    assert verdict.score == pytest.approx(22.0)
+    assert verdict.metrics["qos_breaches"] == 2
+
+
+def test_delivery_floor_breach():
+    obj = ObjectiveConfig(min_delivery_ratio=0.90)
+    verdict = score_bss_row(_row(voice_losses=50), obj)  # ratio 150/200
+    assert verdict.signature == ("delivery",)
+    assert verdict.score == pytest.approx(20.0 * 0.25)
+    # fault-free boundary losses sit above the floor
+    ok = score_bss_row(_row(voice_losses=5), obj)  # ratio ~0.967
+    assert not ok.breached
+
+
+def test_invariant_violation_dominates():
+    row = _row(invariant_violations=["ghost frame delivered"])
+    verdict = score_bss_row(row)
+    assert verdict.signature == ("invariant",)
+    assert verdict.score >= 100.0
+
+
+# -- ess surface ------------------------------------------------------------
+
+def test_clean_ess_report_passes():
+    verdict = score_ess_report(_ess_report())
+    assert not verdict.breached
+    assert verdict.metrics["dropped_ap_down"] == 1
+
+
+def test_ess_conservation_and_drop_rate_signatures():
+    verdict = score_ess_report(
+        _ess_report(violations=["epoch 3: created != resolved"],
+                    drop_rate=0.4)
+    )
+    assert verdict.breached
+    assert verdict.signature == ("ess:conservation", "ess:handoff-drop")
+    assert verdict.score == pytest.approx(100.0 + 40.0 * 0.4)
+
+
+def test_ess_drop_rate_threshold_is_exclusive():
+    obj = ObjectiveConfig(max_handoff_drop_rate=0.25)
+    at = score_ess_report(_ess_report(drop_rate=0.25), obj)
+    above = score_ess_report(_ess_report(drop_rate=0.2501), obj)
+    assert not at.breached
+    assert above.signature == ("ess:handoff-drop",)
+
+
+# -- verdict plumbing -------------------------------------------------------
+
+def test_verdict_round_trip_and_subsumes():
+    verdict = BreachVerdict(
+        breached=True,
+        score=12.5,
+        signature=("delivery", "qos:delay"),
+        metrics={"qos_breaches": 1},
+    )
+    assert BreachVerdict.from_dict(verdict.to_dict()) == verdict
+    narrower = BreachVerdict(
+        breached=True, score=3.0, signature=("qos:delay",), metrics={}
+    )
+    assert verdict.subsumes(narrower)
+    assert not narrower.subsumes(verdict)
+
+
+def test_objective_config_validates_and_round_trips():
+    with pytest.raises(ValueError, match="min_delivery_ratio"):
+        ObjectiveConfig(min_delivery_ratio=1.5)
+    with pytest.raises(ValueError, match="max_handoff_drop_rate"):
+        ObjectiveConfig(max_handoff_drop_rate=-0.1)
+    obj = ObjectiveConfig(drop_weight=80.0)
+    assert ObjectiveConfig.from_dict(obj.to_dict()) == obj

@@ -1,0 +1,177 @@
+"""Campaign engine: determinism, dedup, champions, archive flow."""
+
+import json
+
+import pytest
+
+from repro.redteam import (
+    BreachVerdict,
+    CampaignConfig,
+    DecodeSettings,
+    ExecEvaluator,
+    ObjectiveConfig,
+    archived_keys,
+    load_reproducers,
+    run_campaign,
+)
+
+
+class FakeEvaluator:
+    """Deterministic pure-function evaluator; counts every call."""
+
+    def __init__(self):
+        self.evaluations = 0
+        self.batches = []
+
+    def _verdict(self, genome):
+        # breach iff overloaded with at least one fault clause injected
+        breached = genome.load >= 2.0 and genome.fault_clauses > 0
+        signature = ()
+        if breached:
+            signature = (
+                ("delivery",) if genome.surface == "bss"
+                else ("ess:handoff-drop",)
+            )
+        score = round(genome.load * (1 + genome.fault_clauses), 6)
+        return BreachVerdict(
+            breached=breached,
+            score=score if breached else 0.0,
+            signature=signature,
+            metrics={"clauses": genome.fault_clauses},
+        )
+
+    def evaluate(self, genomes):
+        self.evaluations += len(genomes)
+        self.batches.append(len(genomes))
+        return [self._verdict(g) for g in genomes]
+
+
+def _report_bytes(config, **kwargs):
+    report = run_campaign(config, FakeEvaluator(), **kwargs)
+    return json.dumps(report.to_dict(), sort_keys=True)
+
+
+# -- config validation ------------------------------------------------------
+
+def test_campaign_config_validates():
+    with pytest.raises(ValueError, match="budget"):
+        CampaignConfig(budget=0)
+    with pytest.raises(ValueError, match="surface"):
+        CampaignConfig(surface="wlan")
+    with pytest.raises(ValueError, match="explore_ratio"):
+        CampaignConfig(explore_ratio=1.5)
+
+
+# -- determinism ------------------------------------------------------------
+
+@pytest.mark.parametrize("surface", ["bss", "ess", "both"])
+def test_campaign_is_byte_deterministic(surface):
+    config = CampaignConfig(
+        budget=24, seed=11, surface=surface, batch=6, shrink=True
+    )
+    assert _report_bytes(config) == _report_bytes(config)
+
+
+def test_different_seeds_walk_different_trajectories():
+    a = CampaignConfig(budget=16, seed=1)
+    b = CampaignConfig(budget=16, seed=2)
+    assert _report_bytes(a) != _report_bytes(b)
+
+
+# -- search mechanics -------------------------------------------------------
+
+def test_budget_is_respected_and_batched():
+    evaluator = FakeEvaluator()
+    config = CampaignConfig(budget=20, seed=0, batch=8)
+    report = run_campaign(config, evaluator)
+    assert report.evaluated == 20
+    # duplicates are served from the seen-cache, never re-evaluated
+    assert evaluator.evaluations == report.unique_genomes
+    assert evaluator.evaluations <= 20
+    # final partial batch: 8 + 8 + 4 generated slots
+    assert sum(evaluator.batches) == evaluator.evaluations
+
+
+def test_champions_keep_best_score_per_signature():
+    config = CampaignConfig(budget=32, seed=5, surface="both", batch=8)
+    report = run_campaign(config, FakeEvaluator())
+    assert report.breaches_found > 0
+    signatures = [c.verdict.signature for c in report.champions]
+    assert len(signatures) == len(set(signatures))
+    for champ in report.champions:
+        assert champ.verdict.breached
+        assert champ.verdict.score > 0
+
+
+def test_shrink_stats_do_not_pollute_search_counts():
+    config = CampaignConfig(budget=16, seed=3, batch=8)
+    plain = run_campaign(config, FakeEvaluator())
+    shrunk = run_campaign(
+        CampaignConfig(budget=16, seed=3, batch=8, shrink=True),
+        FakeEvaluator(),
+    )
+    assert shrunk.unique_genomes == plain.unique_genomes
+    assert shrunk.breaches_found == plain.breaches_found
+    for champ in shrunk.champions:
+        assert champ.shrunk is not None
+        assert champ.shrunk.fault_clauses <= champ.genome.fault_clauses
+        assert champ.shrunk_verdict.breached
+
+
+# -- archive flow -----------------------------------------------------------
+
+def test_first_campaign_archives_and_rerun_finds_nothing_new(tmp_path):
+    corpus = tmp_path / "reproducers"
+    config = CampaignConfig(budget=24, seed=11, batch=6, shrink=True)
+
+    first = run_campaign(config, FakeEvaluator(), archive_dir=corpus)
+    assert first.new_unarchived == len(first.champions) > 0
+    fixtures = load_reproducers(corpus)
+    assert len(fixtures) == len(first.champions)
+    for champ in first.champions:
+        assert champ.archived and champ.new
+        assert champ.reproducer in {f"{r.name}.json" for r in fixtures}
+
+    second = run_campaign(config, FakeEvaluator(), archive_dir=corpus)
+    assert second.new_unarchived == 0
+    assert all(not c.new for c in second.champions)
+    # idempotent: the corpus did not grow
+    assert archived_keys(corpus) == {r.genome.key() for r in fixtures}
+
+
+def test_archive_none_counts_every_champion_as_new():
+    config = CampaignConfig(budget=24, seed=11, batch=6)
+    report = run_campaign(config, FakeEvaluator())
+    assert report.new_unarchived == len(report.champions) > 0
+    assert all(c.reproducer is None for c in report.champions)
+
+
+# -- the real evaluator -----------------------------------------------------
+
+class TestRealEvaluator:
+    SETTINGS = DecodeSettings(sim_time=6.0, warmup=1.0)
+
+    def _config(self):
+        return CampaignConfig(
+            budget=6,
+            seed=0,
+            surface="both",
+            batch=6,
+            settings=self.SETTINGS,
+            objective=ObjectiveConfig(),
+        )
+
+    def _run(self, workers):
+        from repro.exec import ExecutorConfig, SweepExecutor
+
+        config = self._config()
+        evaluator = ExecEvaluator(
+            config.settings,
+            config.objective,
+            SweepExecutor(ExecutorConfig(workers=workers, cache_dir=None)),
+        )
+        report = run_campaign(config, evaluator)
+        return json.dumps(report.to_dict(), sort_keys=True)
+
+    def test_report_is_byte_identical_across_worker_counts(self):
+        assert self._run(1) == self._run(2)

@@ -1,0 +1,142 @@
+"""Delta-debugging: greedy shrink with signature preservation."""
+
+import dataclasses
+
+from repro.faults import FrameLossRule, GilbertElliottParams, StationFault
+from repro.redteam import BreachVerdict, ScenarioGenome, shrink_genome
+
+
+def _fault(at=3.0, kind="any"):
+    return StationFault(at=at, mode="crash", duration=4.0, kind=kind)
+
+
+def _loss(ftype="ack", probability=0.4):
+    return FrameLossRule(ftype=ftype, probability=probability,
+                         start=1.0, end=9.0)
+
+
+class CountingOracle:
+    """Breach iff a voice-kind station fault is present and load >= 2."""
+
+    def __init__(self, signature=("delivery",)):
+        self.signature = signature
+        self.calls = 0
+
+    def __call__(self, genome):
+        self.calls += 1
+        breached = genome.load >= 2.0 and any(
+            f.kind == "voice" for f in genome.station_faults
+        )
+        return BreachVerdict(
+            breached=breached,
+            score=round(genome.load, 6) if breached else 0.0,
+            signature=self.signature if breached else (),
+            metrics={},
+        )
+
+
+def test_shrink_drops_irrelevant_clauses_and_reduces_genes():
+    genome = ScenarioGenome(
+        surface="bss",
+        load=4.0,
+        stations=8,
+        gilbert_elliott=GilbertElliottParams(p_good_to_bad=0.05, p_bad_to_good=0.3),
+        frame_loss=(_loss("ack"), _loss("cf_poll")),
+        station_faults=(_fault(kind="any"), _fault(kind="voice")),
+    )
+    oracle = CountingOracle()
+    verdict = oracle(genome)
+    assert verdict.breached and genome.fault_clauses == 5
+
+    shrunk, shrunk_verdict, used = shrink_genome(
+        genome, verdict, oracle, max_evals=200
+    )
+    # only the load threshold and the voice fault matter
+    assert len(shrunk.station_faults) == 1
+    assert shrunk.station_faults[0].kind == "voice"
+    assert shrunk.station_faults[0].duration == 0.5  # halved to the floor
+    assert shrunk.frame_loss == ()
+    assert shrunk.gilbert_elliott is None
+    assert shrunk.fault_clauses == 1
+    assert shrunk.stations == 1
+    assert shrunk.load == 2.0  # 4.0 halves once; 1.0 and 1.5 lose the breach
+    assert shrunk_verdict.breached
+    assert 0 < used <= 200
+
+
+def test_shrink_preserves_the_original_signature():
+    genome = ScenarioGenome(
+        surface="bss",
+        load=2.0,
+        station_faults=(_fault(kind="voice"),),
+        frame_loss=(_loss(),),
+    )
+
+    def oracle(g):
+        # dropping the frame-loss rule swaps delivery for a qos breach:
+        # the shrinker must refuse that trade
+        if g.load >= 2.0 and g.frame_loss:
+            return BreachVerdict(True, 5.0, ("delivery",), {})
+        if g.load >= 2.0 and g.station_faults:
+            return BreachVerdict(True, 9.0, ("qos:delay",), {})
+        return BreachVerdict(False, 0.0, (), {})
+
+    verdict = oracle(genome)
+    assert verdict.signature == ("delivery",)
+    shrunk, shrunk_verdict, _ = shrink_genome(genome, verdict, oracle)
+    assert "delivery" in shrunk_verdict.signature
+    assert shrunk.frame_loss  # the load-bearing clause survived
+
+
+def test_shrink_respects_the_evaluation_budget():
+    genome = ScenarioGenome(
+        surface="bss",
+        load=4.0,
+        stations=8,
+        frame_loss=(_loss(), _loss("cf_poll"), _loss("beacon")),
+        station_faults=(_fault(kind="voice"),),
+    )
+    oracle = CountingOracle()
+    verdict = oracle(genome)
+    oracle.calls = 0
+    _, _, used = shrink_genome(genome, verdict, oracle, max_evals=3)
+    assert used == oracle.calls == 3
+
+
+def test_unshrinkable_genome_comes_back_unchanged():
+    from repro.faults import StationFault
+
+    permanent = StationFault(at=3.0, mode="crash", duration=None,
+                             kind="voice")
+    genome = ScenarioGenome(
+        surface="bss", load=2.0, stations=1, station_faults=(permanent,)
+    )
+    oracle = CountingOracle()
+    verdict = oracle(genome)
+    shrunk, shrunk_verdict, _ = shrink_genome(genome, verdict, oracle)
+    # load 1.0 / 1.5 candidates lose the breach; a permanent crash has
+    # no window to halve; nothing else to drop or reduce
+    assert shrunk == genome
+    assert shrunk_verdict == verdict
+
+
+def test_window_halving_shortens_fault_durations():
+    long_fault = StationFault(at=3.0, mode="freeze", duration=8.0,
+                              kind="voice")
+    genome = ScenarioGenome(surface="bss", load=2.0, stations=1,
+                            station_faults=(long_fault,))
+
+    def oracle(g):
+        breached = g.load >= 2.0 and any(
+            f.kind == "voice" and (f.duration or 0) >= 2.0
+            for f in g.station_faults
+        )
+        return BreachVerdict(breached, 1.0 if breached else 0.0,
+                             ("delivery",) if breached else (), {})
+
+    shrunk, _, _ = shrink_genome(genome, oracle(genome), oracle)
+    assert shrunk.station_faults[0].duration == 2.0
+    assert shrunk == dataclasses.replace(
+        genome,
+        station_faults=(dataclasses.replace(long_fault, duration=2.0),),
+    )
