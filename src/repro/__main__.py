@@ -28,14 +28,21 @@ redteam           run a seeded adversarial campaign over the fault /
                   reproducers (``--shrink``) and archive genuinely new
                   breaches as chaos-tier fixtures; the campaign JSON is
                   byte-identical for a fixed seed across worker counts
+serve             serve capacity-planning queries over the cached sweep
+                  surfaces: a stdlib HTTP JSON API (``/query``,
+                  ``/healthz``, ``/metrics``, ``/surfaces``) with
+                  deterministic interpolation, explicit extrapolation
+                  refusal, and on-miss back-fill through the warm
+                  sweep executor (202 + Retry-After)
 
 Run with no command to see this help.
 
-Exit codes: 0 success; 1 failed validation claims / chaos gates /
-perf-gate regressions / ESS conservation violations / redteam
-execution failures; 2 sweep points permanently failed after retries,
-or (redteam) a genuinely new breach was found that is not yet in the
-archived reproducer corpus.
+Exit codes: 0 success (for ``serve``: clean shutdown on SIGINT);
+1 failed validation claims / chaos gates / perf-gate regressions /
+ESS conservation violations / redteam execution failures / (serve) an
+empty cache directory yielded no surfaces to serve; 2 sweep points
+permanently failed after retries, or (redteam) a genuinely new breach
+was found that is not yet in the archived reproducer corpus.
 """
 
 from __future__ import annotations
@@ -461,6 +468,103 @@ def _cmd_redteam(args: argparse.Namespace) -> int:
     return 2 if report.new_unarchived else 0
 
 
+def _parse_warm_spec(text: str) -> dict:
+    """``schemes=a,b loads=0.5,1.0 seeds=1,2 time=8 warmup=1`` -> kwargs."""
+    from .network.bss import SCHEMES
+
+    spec = {
+        "schemes": ("proposed",),
+        "loads": (0.5, 1.0),
+        "seeds": (1,),
+        "time": 8.0,
+        "warmup": 1.0,
+    }
+    for clause in text.split():
+        name, sep, value = clause.partition("=")
+        if not sep or name not in spec:
+            raise argparse.ArgumentTypeError(
+                f"bad warm clause {clause!r}: expected one of "
+                f"{sorted(spec)} as name=value"
+            )
+        try:
+            if name == "schemes":
+                schemes = tuple(value.split(","))
+                unknown = [s for s in schemes if s not in SCHEMES]
+                if unknown:
+                    raise ValueError(f"unknown scheme(s) {unknown}")
+                spec[name] = schemes
+            elif name == "loads":
+                spec[name] = tuple(float(v) for v in value.split(","))
+            elif name == "seeds":
+                spec[name] = tuple(int(v) for v in value.split(","))
+            else:
+                spec[name] = float(value)
+        except ValueError as exc:
+            raise argparse.ArgumentTypeError(f"bad warm clause {clause!r}: {exc}")
+    return spec
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .exec import ExecutorConfig, SweepExecutor
+    from .experiments import sweep_grid
+    from .serve import build_server
+
+    if args.warm is not None:
+        spec = args.warm
+        grid = sweep_grid(
+            spec["schemes"],
+            loads=spec["loads"],
+            seeds=spec["seeds"],
+            sim_time=spec["time"],
+            warmup=spec["warmup"],
+        )
+        executor = SweepExecutor(
+            ExecutorConfig(
+                workers=args.workers,
+                cache_dir=args.cache_dir,
+                on_failure="skip",
+            )
+        )
+        executor.run(grid)
+        summary = executor.summary()
+        print(
+            "  warm: {total_points} points, {executed} simulated, "
+            "{cache_hits} cached in {wall_time:.1f}s".format(**summary),
+            file=sys.stderr,
+        )
+
+    server = build_server(
+        args.cache_dir,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        backfill=not args.no_backfill,
+        max_queue=args.max_queue,
+    )
+    if not server.index.surfaces:
+        print(
+            f"error: no sweep surfaces in {args.cache_dir!r} — run a "
+            "cached sweep first (python -m repro sweep) or pass --warm",
+            file=sys.stderr,
+        )
+        server.stop()
+        return 1
+    described = server.index.describe()
+    print(
+        f"  serving {len(described['surfaces'])} surface(s), "
+        f"{described['rows']} rows at {server.url} "
+        f"(backfill={'off' if args.no_backfill else 'on'})",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("  shutting down", file=sys.stderr)
+    finally:
+        server.stop()
+    return 0
+
+
 def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
@@ -472,6 +576,16 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="802.11 QoS provisioning reproduction",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "exit codes:\n"
+            "  0  success (for serve: clean shutdown on SIGINT)\n"
+            "  1  failed validation claims / chaos gates / perf-gate\n"
+            "     regressions / ESS conservation violations / redteam\n"
+            "     execution failures / (serve) no surfaces in the cache\n"
+            "  2  sweep points permanently failed after retries, or\n"
+            "     (redteam) a new breach not yet in the archived corpus"
+        ),
     )
     sub = parser.add_subparsers(dest="command", required=False)
 
@@ -707,6 +821,33 @@ def main(argv: list[str] | None = None) -> int:
                          help="campaign report path (default: "
                               ".repro-cache/redteam-campaign.json)")
 
+    serve = sub.add_parser(
+        "serve",
+        help="serve capacity-planning queries over cached sweep surfaces "
+             "(stdlib HTTP JSON API)",
+    )
+    serve.add_argument("--cache-dir", default=".repro-cache",
+                       help="result cache directory to index "
+                            "(default: .repro-cache)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8011,
+                       help="bind port, 0 picks a free one (default: 8011)")
+    serve.add_argument("--workers", type=_positive_int, default=1,
+                       help="sweep-executor pool size for back-fill "
+                            "(1 = serial in-process)")
+    serve.add_argument("--no-backfill", action="store_true",
+                       help="answer only from the existing cache; cache "
+                            "misses return 404 instead of 202")
+    serve.add_argument("--max-queue", type=_positive_int, default=64,
+                       help="back-fill queue depth before shedding "
+                            "(default: 64)")
+    serve.add_argument("--warm", type=_parse_warm_spec, default=None,
+                       metavar="SPEC",
+                       help="populate the cache before serving, e.g. "
+                            "'schemes=proposed,conventional "
+                            "loads=0.5,1.0,2.0 seeds=1,2 time=8'")
+
     # the bench gate owns its full flag set (it is also reachable as
     # ``benchmarks/perf_gate.py``); argparse's REMAINDER cannot forward
     # leading optionals through a subparser, so dispatch before parsing
@@ -735,6 +876,7 @@ def main(argv: list[str] | None = None) -> int:
         "trace": _cmd_trace,
         "ess": _cmd_ess,
         "redteam": _cmd_redteam,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

@@ -15,8 +15,10 @@ run re-measures every benchmark it lists and fails (exit 1) when
 Wall-clock numbers are machine-relative; CI therefore runs the gate
 with a generous tolerance (``--tolerance 0.25``) while the exact
 ``events`` check stays machine-independent.  ``--update`` rewrites the
-baseline deliberately, preserving the ``pre_pr_baseline`` and
-``parallel_sweep`` sections it does not re-measure.
+baseline deliberately, preserving the ``pre_pr_baseline``,
+``parallel_sweep`` and ``serve_queries`` sections it does not
+re-measure (``--with-sweep`` / ``--with-serve`` re-measure the latter
+two).
 """
 
 from __future__ import annotations
@@ -205,6 +207,9 @@ def main(argv: list[str] | None = None) -> int:
                              "when the machine has at least as many CPU "
                              "cores as sweep workers (CI runners do, "
                              "1-core containers skip with a note)")
+    parser.add_argument("--with-serve", action="store_true",
+                        help="also measure the serving closed-loop section "
+                             "(requests/sec, hit rate, latency quantiles)")
     parser.add_argument("--update", action="store_true",
                         help="rewrite the baseline from this run and exit 0")
     args = parser.parse_args(argv)
@@ -234,7 +239,7 @@ def main(argv: list[str] | None = None) -> int:
         pass
     if baseline is not None:
         # carry the sections a fresh run does not re-measure
-        for section in ("pre_pr_baseline", "parallel_sweep"):
+        for section in ("pre_pr_baseline", "parallel_sweep", "serve_queries"):
             if section in baseline:
                 report[section] = baseline[section]
 
@@ -267,6 +272,24 @@ def main(argv: list[str] | None = None) -> int:
                     f"{pool_workers} workers (no parallelism to measure)",
                     file=sys.stderr,
                 )
+
+    if args.with_serve:
+        from .serve import run_serve_queries
+
+        report["serve_queries"] = serve = run_serve_queries()
+        print(
+            f"  serve_queries    {serve['requests']} requests, "
+            f"{serve['requests_per_sec']:,.0f} req/s, "
+            f"hit rate {serve['hit_rate']:.0%}, "
+            f"p99 {serve['latency_p99_ms']} ms",
+            file=sys.stderr,
+        )
+        if not serve["responses_identical"]:
+            print(
+                "error: repeated serve queries returned different bytes",
+                file=sys.stderr,
+            )
+            return 1
 
     write_report(args.out, report)
     print(f"  report written to {args.out}", file=sys.stderr)

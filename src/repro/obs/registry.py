@@ -182,6 +182,21 @@ class MetricsRegistry:
             instrument = self._histograms[key] = Histogram(bounds)
         return instrument
 
+    def expose(
+        self,
+    ) -> tuple[
+        dict[str, Counter], dict[str, Gauge], dict[str, Histogram]
+    ]:
+        """Live instrument maps ``(counters, gauges, histograms)``.
+
+        Keys are the flattened ``name{label=value,...}`` identities.
+        This is the read surface the Prometheus text renderer
+        (:mod:`repro.serve.metrics`) walks: unlike :meth:`snapshot` it
+        keeps the full bucket layout of every histogram, which the
+        cumulative ``_bucket`` series needs.
+        """
+        return dict(self._counters), dict(self._gauges), dict(self._histograms)
+
     # -- snapshotting -------------------------------------------------------
     def snapshot(self, now: float | None = None) -> dict[str, typing.Any]:
         """One deterministic point-in-time view of every instrument."""

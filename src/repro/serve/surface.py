@@ -1,0 +1,448 @@
+"""Sweep surfaces: the in-memory query index over cached result rows.
+
+A :class:`SurfaceIndex` scans a :class:`~repro.exec.cache.ResultCache`
+directory once (entries are self-describing: each carries the config
+that produced its row) and groups rows into **surfaces**: one surface
+per *residual config* — everything in the config except the sweep axes
+(``load``, ``n_data_stations``), the replication ``seed`` and any ESS
+cell context.  Rows landing on the same axis coordinates (different
+seeds, or different ESS shards) aggregate into one grid point whose
+metric values are means over the sorted contributing cache keys, so
+the aggregate is byte-deterministic no matter what order entries were
+scanned or back-filled in.
+
+Lookups between grid points use multilinear interpolation over the
+enclosing cell and **refuse to extrapolate**: a coordinate outside an
+axis's observed range raises ``extrapolation_refused`` rather than
+inventing capacity numbers the sweep never measured.  A coordinate
+inside the range whose enclosing cell is missing corners raises
+``missing_points`` and names the exact configs that would fill them —
+the serve app turns that into a 202 + back-fill enqueue.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import itertools
+import typing
+
+from ..exec.cache import ResultCache
+from ..exec.hashing import KEY_FORMAT, canonical_json
+
+__all__ = [
+    "CANDIDATE_AXES",
+    "SurfaceError",
+    "GridPoint",
+    "SweepSurface",
+    "SurfaceLookup",
+    "SurfaceIndex",
+]
+
+#: config fields treated as interpolation axes (in this order); every
+#: other field (minus ``seed``/``ess``) is surface identity
+CANDIDATE_AXES: tuple[str, ...] = ("load", "n_data_stations")
+
+#: result-row fields that are run bookkeeping, not surface metrics
+_NON_METRIC_FIELDS = frozenset(
+    {"seed", "sim_time", "warmup", "events_processed"}
+)
+
+
+class SurfaceError(Exception):
+    """A lookup the surface cannot answer; ``code`` says why.
+
+    Codes: ``axis_required``, ``extrapolation_refused``,
+    ``missing_points``, ``unknown_surface``, ``missing_metric``.
+    ``detail`` is a JSON-ready dict the HTTP layer returns verbatim.
+    """
+
+    def __init__(self, code: str, message: str, **detail: typing.Any) -> None:
+        super().__init__(message)
+        self.code = code
+        self.detail = dict(detail)
+
+    def to_dict(self) -> dict[str, typing.Any]:
+        return {"code": self.code, "message": str(self), **self.detail}
+
+
+def flatten_metrics(
+    row: typing.Mapping[str, typing.Any], prefix: str = ""
+) -> dict[str, float]:
+    """Numeric leaves of a result row, dotted for nesting.
+
+    Numbers pass through; nested dicts recurse (``faults.polls_lost``,
+    ``ess.handoffs_injected``); all-numeric lists contribute their
+    length and max (``analytic_voice_bounds_count`` is the number of
+    voice sessions admitted at sweep end, ``..._max`` the worst
+    analytic bound); strings, bools and mixed lists are skipped.
+    """
+    out: dict[str, float] = {}
+    for name, value in row.items():
+        label = f"{prefix}{name}"
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            out[label] = float(value)
+        elif isinstance(value, dict):
+            out.update(flatten_metrics(value, prefix=f"{label}."))
+        elif isinstance(value, list):
+            if value and all(
+                isinstance(v, (int, float)) and not isinstance(v, bool)
+                for v in value
+            ):
+                out[f"{label}_count"] = float(len(value))
+                out[f"{label}_max"] = float(max(value))
+    return out
+
+
+@dataclasses.dataclass
+class GridPoint:
+    """All rows that landed on one axis coordinate tuple."""
+
+    coords: tuple[float, ...]
+    #: cache key -> flattened metrics of that row
+    rows: dict[str, dict[str, float]] = dataclasses.field(default_factory=dict)
+
+    @property
+    def keys(self) -> list[str]:
+        return sorted(self.rows)
+
+    def metrics(self) -> dict[str, float]:
+        """Per-metric mean over contributing rows, in sorted-key order.
+
+        Iterating keys sorted makes the float accumulation order — and
+        therefore the aggregate bytes — independent of scan order.
+        """
+        sums: dict[str, float] = {}
+        counts: dict[str, int] = {}
+        for key in self.keys:
+            for name, value in self.rows[key].items():
+                sums[name] = sums.get(name, 0.0) + value
+                counts[name] = counts.get(name, 0) + 1
+        return {name: sums[name] / counts[name] for name in sorted(sums)}
+
+
+@dataclasses.dataclass
+class SweepSurface:
+    """One residual config's grid of aggregated result rows."""
+
+    surface_id: str
+    scheme: str
+    #: the residual config: axes, seed and ess stripped
+    residual: dict[str, typing.Any]
+    axes: tuple[str, ...]
+    points: dict[tuple[float, ...], GridPoint] = dataclasses.field(
+        default_factory=dict
+    )
+    #: replication seeds observed anywhere on the surface
+    seeds: set[int] = dataclasses.field(default_factory=set)
+    #: rows that came from ESS cell shards (carry an ``ess`` context)
+    ess_rows: int = 0
+    #: per-axis map: float coordinate -> the original JSON value, so a
+    #: back-fill config round-trips int axes (``n_data_stations``)
+    axis_originals: dict[str, dict[float, typing.Any]] = dataclasses.field(
+        default_factory=dict
+    )
+
+    @property
+    def backfillable(self) -> bool:
+        """ESS shard rows strip a context we cannot reconstruct, so
+        only pure single-BSS surfaces may enqueue missing points."""
+        return self.ess_rows == 0 and bool(self.seeds)
+
+    def axis_values(self) -> dict[str, list[float]]:
+        """Sorted unique observed coordinates per axis."""
+        out: dict[str, list[float]] = {}
+        for i, axis in enumerate(self.axes):
+            out[axis] = sorted({coords[i] for coords in self.points})
+        return out
+
+    def describe(self) -> dict[str, typing.Any]:
+        """JSON-ready summary for ``/surfaces``."""
+        return {
+            "surface_id": self.surface_id,
+            "scheme": self.scheme,
+            "axes": {
+                axis: values for axis, values in self.axis_values().items()
+            },
+            "points": len(self.points),
+            "rows": sum(len(p.rows) for p in self.points.values()),
+            "seeds": sorted(self.seeds),
+            "ess_rows": self.ess_rows,
+            "backfillable": self.backfillable,
+            "sim_time": self.residual.get("sim_time"),
+            "key_format": KEY_FORMAT,
+        }
+
+    # -- lookup ------------------------------------------------------------
+    def _bracket(self, axis_index: int, value: float) -> tuple[float, float]:
+        """The grid values enclosing ``value`` on one axis (lo == hi
+        for an exact hit); refuses values outside the observed range."""
+        axis = self.axes[axis_index]
+        uniques = sorted({c[axis_index] for c in self.points})
+        if value in uniques:
+            return value, value
+        if value < uniques[0] or value > uniques[-1]:
+            raise SurfaceError(
+                "extrapolation_refused",
+                f"{axis}={value:g} is outside the surface's observed "
+                f"range [{uniques[0]:g}, {uniques[-1]:g}]",
+                axis=axis,
+                value=value,
+                observed=[uniques[0], uniques[-1]],
+            )
+        lo = max(u for u in uniques if u < value)
+        hi = min(u for u in uniques if u > value)
+        return lo, hi
+
+    def lookup(
+        self,
+        at: typing.Mapping[str, float],
+        require_exact: bool = False,
+    ) -> "SurfaceLookup":
+        """Resolve one coordinate: exact hit or multilinear interpolation.
+
+        ``at`` maps axis name to requested value; an axis with a single
+        observed value may be omitted (it defaults); any other omitted
+        axis raises ``axis_required``.  With ``require_exact`` an
+        interpolated answer is refused as ``missing_points`` naming the
+        requested coordinate itself — the progressive-refinement miss
+        the serve app turns into a back-fill enqueue.
+        """
+        values = self.axis_values()
+        target: list[float] = []
+        for axis in self.axes:
+            if axis in at:
+                target.append(float(at[axis]))
+            elif len(values[axis]) == 1:
+                target.append(values[axis][0])
+            else:
+                raise SurfaceError(
+                    "axis_required",
+                    f"axis {axis!r} varies on this surface "
+                    f"({values[axis]}); the query must pin it",
+                    axis=axis,
+                    observed=values[axis],
+                )
+
+        brackets = [
+            self._bracket(i, value) for i, value in enumerate(target)
+        ]
+        if require_exact and any(lo != hi for lo, hi in brackets):
+            raise SurfaceError(
+                "missing_points",
+                "no cached rows at exactly this coordinate "
+                "(require_exact refused interpolation)",
+                surface_id=self.surface_id,
+                missing=[dict(zip(self.axes, target))],
+            )
+        corners = sorted(set(itertools.product(*brackets)))
+        missing = [c for c in corners if c not in self.points]
+        if missing:
+            raise SurfaceError(
+                "missing_points",
+                f"{len(missing)} grid corner(s) of the enclosing cell "
+                "have no cached rows",
+                surface_id=self.surface_id,
+                missing=[
+                    dict(zip(self.axes, corner)) for corner in missing
+                ],
+            )
+
+        weighted: list[tuple[float, GridPoint]] = []
+        for corner in corners:
+            weight = 1.0
+            for (lo, hi), x, c in zip(brackets, target, corner):
+                if hi == lo:
+                    continue
+                t = (x - lo) / (hi - lo)
+                weight *= t if c == hi else 1.0 - t
+            weighted.append((weight, self.points[corner]))
+
+        metrics: dict[str, float] = {}
+        corner_metrics = [(w, p.metrics()) for w, p in weighted]
+        # only metrics present on every corner interpolate honestly
+        shared = sorted(
+            set.intersection(*(set(m) for _w, m in corner_metrics))
+        )
+        for name in shared:
+            metrics[name] = sum(w * m[name] for w, m in corner_metrics)
+        keys = sorted({k for _w, p in weighted for k in p.keys})
+        exact = all(lo == hi for lo, hi in brackets)
+        return SurfaceLookup(
+            surface=self,
+            at=dict(zip(self.axes, target)),
+            mode="exact" if exact else "interpolated",
+            metrics=metrics,
+            keys=keys,
+            corners=[dict(zip(self.axes, c)) for c in corners],
+        )
+
+    def missing_configs(
+        self, missing: typing.Sequence[typing.Mapping[str, float]]
+    ) -> list[dict[str, typing.Any]]:
+        """Full config dicts that would fill the named grid corners —
+        one per (corner, observed seed) — ready for the executor."""
+        if not self.backfillable:
+            return []
+        configs: list[dict[str, typing.Any]] = []
+        for corner in missing:
+            base = dict(self.residual)
+            for axis in self.axes:
+                value = float(corner[axis])
+                base[axis] = self.axis_originals.get(axis, {}).get(
+                    value, value
+                )
+            for seed in sorted(self.seeds):
+                config = dict(base)
+                config["seed"] = seed
+                config["ess"] = None
+                configs.append(config)
+        return configs
+
+
+@dataclasses.dataclass
+class SurfaceLookup:
+    """One resolved coordinate, with provenance."""
+
+    surface: SweepSurface
+    at: dict[str, float]
+    mode: str  # "exact" | "interpolated"
+    metrics: dict[str, float]
+    keys: list[str]
+    corners: list[dict[str, float]]
+
+    def provenance(self) -> dict[str, typing.Any]:
+        return {
+            "surface_id": self.surface.surface_id,
+            "scheme": self.surface.scheme,
+            "at": self.at,
+            "mode": self.mode,
+            "corners": self.corners,
+            "cache_keys": self.keys,
+            "key_format": KEY_FORMAT,
+        }
+
+
+def _surface_identity(residual: typing.Mapping[str, typing.Any]) -> str:
+    return hashlib.sha256(
+        canonical_json({"format": KEY_FORMAT, "residual": residual}).encode()
+    ).hexdigest()[:12]
+
+
+class SurfaceIndex:
+    """Every surface recoverable from one result-cache directory."""
+
+    def __init__(self, axes: typing.Sequence[str] = CANDIDATE_AXES) -> None:
+        self.axes = tuple(axes)
+        self.surfaces: dict[str, SweepSurface] = {}
+        #: entries whose config was absent/foreign — counted, not fatal
+        self.skipped = 0
+        self.rows = 0
+
+    @classmethod
+    def from_cache(
+        cls,
+        cache: ResultCache,
+        axes: typing.Sequence[str] = CANDIDATE_AXES,
+    ) -> "SurfaceIndex":
+        index = cls(axes)
+        for entry in cache.entries():
+            index.add_entry(entry.key, entry.config, entry.row)
+        return index
+
+    def add_entry(
+        self,
+        key: str,
+        config: typing.Mapping[str, typing.Any] | None,
+        row: typing.Mapping[str, typing.Any],
+    ) -> SweepSurface | None:
+        """Place one cache entry; returns the surface it landed on."""
+        if config is None or any(axis not in config for axis in self.axes):
+            self.skipped += 1
+            return None
+        residual = {
+            k: v
+            for k, v in config.items()
+            if k not in self.axes and k not in ("seed", "ess")
+        }
+        surface_id = _surface_identity(residual)
+        surface = self.surfaces.get(surface_id)
+        if surface is None:
+            surface = self.surfaces[surface_id] = SweepSurface(
+                surface_id=surface_id,
+                scheme=str(residual.get("scheme", "?")),
+                residual=residual,
+                axes=self.axes,
+            )
+        coords = tuple(float(config[axis]) for axis in self.axes)
+        point = surface.points.get(coords)
+        if point is None:
+            point = surface.points[coords] = GridPoint(coords=coords)
+        metrics = flatten_metrics(
+            {k: v for k, v in row.items() if k not in _NON_METRIC_FIELDS}
+        )
+        if key not in point.rows:
+            self.rows += 1
+        point.rows[key] = metrics
+        if isinstance(config.get("seed"), int):
+            surface.seeds.add(config["seed"])
+        if config.get("ess") is not None:
+            surface.ess_rows += 1
+        for axis in self.axes:
+            surface.axis_originals.setdefault(axis, {})[
+                float(config[axis])
+            ] = config[axis]
+        return surface
+
+    # -- selection ---------------------------------------------------------
+    def find(
+        self, scheme: str, surface_id: str | None = None
+    ) -> SweepSurface:
+        """The surface for ``scheme`` (optionally pinned by id).
+
+        With several surfaces per scheme (different sim_time, mixes,
+        ...), the one with the most rows wins — ties broken by id so
+        selection is deterministic; pass ``surface_id`` to pin.
+        """
+        if surface_id is not None:
+            surface = self.surfaces.get(surface_id)
+            if surface is None:
+                raise SurfaceError(
+                    "unknown_surface",
+                    f"no surface with id {surface_id!r}",
+                    surface_id=surface_id,
+                    available=sorted(self.surfaces),
+                )
+            return surface
+        candidates = [
+            s for s in self.surfaces.values() if s.scheme == scheme
+        ]
+        if not candidates:
+            raise SurfaceError(
+                "unknown_surface",
+                f"no cached surface for scheme {scheme!r}",
+                scheme=scheme,
+                available=sorted(
+                    {s.scheme for s in self.surfaces.values()}
+                ),
+            )
+        return max(
+            candidates,
+            key=lambda s: (sum(len(p.rows) for p in s.points.values()),
+                           s.surface_id),
+        )
+
+    def describe(self) -> dict[str, typing.Any]:
+        """JSON-ready summary for ``/surfaces`` and ``/healthz``."""
+        return {
+            "axes": list(self.axes),
+            "rows": self.rows,
+            "skipped_entries": self.skipped,
+            "key_format": KEY_FORMAT,
+            "surfaces": [
+                self.surfaces[sid].describe()
+                for sid in sorted(self.surfaces)
+            ],
+        }

@@ -1,0 +1,14 @@
+"""The serving closed-loop benchmark section (scaled down)."""
+
+from repro.bench import run_serve_queries
+
+
+def test_serve_queries_section_shape_and_hit_rate():
+    section = run_serve_queries(requests=8, sim_time=1.5, warmup=0.25)
+    assert section["requests"] == 8
+    assert section["statuses"] == {"200": 7, "404": 1}
+    assert section["hit_rate"] == 0.875
+    assert section["responses_identical"] is True
+    assert section["surface_rows"] == 3
+    assert section["requests_per_sec"] > 0
+    assert section["latency_p50_ms"] <= section["latency_p99_ms"]

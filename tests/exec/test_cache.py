@@ -89,6 +89,55 @@ def test_sweep_recovers_from_corrupt_cache_entry(tmp_path):
     assert third.summary()["executed"] == 0
 
 
+def test_tmp_orphans_are_invisible_and_swept(tmp_path):
+    """A crash between temp-write and rename leaves ``.json.tmp``
+    behind: scans skip it, ``clear`` removes it without counting it."""
+    cache = ResultCache(tmp_path / "cache")
+    cfg = ScenarioConfig()
+    cache.put(config_key(cfg), {"x": 1}, cfg)
+    orphan = cache.results_dir / "0abc.json.tmp"
+    orphan.write_text('{"format": 5, "key": "0abc", "row": {}}')
+
+    assert len(cache) == 1
+    assert [e.key for e in cache.entries()] == [config_key(cfg)]
+    assert cache.clear() == 1  # the orphan is not an entry
+    assert not orphan.exists()
+    assert list(cache.results_dir.iterdir()) == []
+
+
+def test_entries_skip_corruption_without_charging_misses(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    good = ScenarioConfig(seed=1)
+    cache.put(config_key(good), {"x": 1}, good)
+    (cache.results_dir / "bad.json").write_text("{not json")
+    (cache.results_dir / "foreign.json").write_text(
+        '{"format": 0, "key": "foreign", "row": {}}'
+    )
+
+    scanned = list(cache.entries())
+    assert [e.key for e in scanned] == [config_key(good)]
+    assert scanned[0].config["seed"] == 1
+    assert (cache.hits, cache.misses) == (0, 0)
+
+
+def test_hit_miss_counters_flow_through_registry(tmp_path):
+    from repro.obs import MetricsRegistry
+
+    registry = MetricsRegistry()
+    cache = ResultCache(tmp_path / "cache", registry=registry)
+    cfg = ScenarioConfig()
+    key = config_key(cfg)
+    cache.get(key)
+    cache.put(key, {"x": 1}, cfg)
+    cache.get(key)
+
+    counters = registry.snapshot()["counters"]
+    assert counters["result_cache_hits"] == 1
+    assert counters["result_cache_misses"] == 1
+    # the int facades read the same instruments
+    assert (cache.hits, cache.misses) == (1, 1)
+
+
 def test_distinct_configs_do_not_collide(tmp_path):
     cache = ResultCache(tmp_path / "cache")
     a, b = ScenarioConfig(seed=1), ScenarioConfig(seed=2)

@@ -54,6 +54,42 @@ class TestInstruments:
         with pytest.raises(ValueError):
             Histogram((1.0, 1.0))
 
+    def test_quantile_of_empty_histogram_is_zero(self):
+        h = Histogram((0.01, 0.1))
+        assert h.quantile(0.0) == 0.0
+        assert h.quantile(0.5) == 0.0
+        assert h.quantile(1.0) == 0.0
+
+    def test_quantile_extremes_land_on_occupied_buckets(self):
+        h = Histogram((0.01, 0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        # q=0 resolves to the lowest occupied bucket's upper edge,
+        # q=1 to the highest — never an empty bucket in between
+        assert h.quantile(0.0) == 0.1
+        assert h.quantile(1.0) == 1.0
+
+    def test_quantile_all_overflow_is_inf(self):
+        h = Histogram((0.01,))
+        h.observe(7.0)
+        h.observe(9.0)
+        assert h.quantile(0.5) == float("inf")
+        assert h.quantile(1.0) == float("inf")
+
+    def test_quantile_single_observation_is_flat(self):
+        h = Histogram((0.01, 0.1))
+        h.observe(0.05)
+        assert (
+            h.quantile(0.0) == h.quantile(0.5) == h.quantile(1.0) == 0.1
+        )
+
+    def test_quantile_rejects_out_of_range(self):
+        h = Histogram((0.01,))
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
 
 class TestSnapshots:
     def test_snapshot_is_deterministically_ordered(self):

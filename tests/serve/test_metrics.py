@@ -1,0 +1,61 @@
+"""Prometheus 0.0.4 text rendering of the metrics registry."""
+
+from repro.obs import MetricsRegistry
+from repro.serve import render_prometheus
+
+
+def test_counters_gauges_and_type_headers():
+    reg = MetricsRegistry()
+    reg.counter("requests", endpoint="/query", status=200).inc(3)
+    reg.counter("requests", endpoint="/healthz", status=200).inc()
+    reg.gauge("depth").set(2.5)
+    text = render_prometheus(reg)
+    assert text == (
+        "# TYPE depth gauge\n"
+        "depth 2.5\n"
+        "# TYPE requests counter\n"
+        'requests{endpoint="/healthz",status="200"} 1\n'
+        'requests{endpoint="/query",status="200"} 3\n'
+    )
+
+
+def test_histogram_buckets_are_cumulative_with_inf():
+    reg = MetricsRegistry()
+    h = reg.histogram("latency", (0.01, 0.1))
+    for v in (0.005, 0.05, 0.05, 5.0):
+        h.observe(v)
+    text = render_prometheus(reg)
+    assert 'latency_bucket{le="0.01"} 1' in text
+    assert 'latency_bucket{le="0.1"} 3' in text  # cumulative, not 2
+    assert 'latency_bucket{le="+Inf"} 4' in text
+    assert "latency_count 4" in text
+    assert "latency_sum 5.105" in text
+    assert "# TYPE latency histogram" in text
+
+
+def test_label_values_are_escaped():
+    reg = MetricsRegistry()
+    reg.counter("odd", path='a"b\\c\nd').inc()
+    text = render_prometheus(reg)
+    assert 'odd{path="a\\"b\\\\c\\nd"} 1' in text
+
+
+def test_registry_constant_labels_stamp_every_sample():
+    reg = MetricsRegistry(bss="b0")
+    reg.counter("polls").inc()
+    reg.gauge("tokens", kind="voice").set(1.0)
+    text = render_prometheus(reg)
+    assert 'polls{bss="b0"} 1' in text
+    assert 'tokens{bss="b0",kind="voice"} 1' in text
+
+
+def test_consecutive_renders_are_byte_identical():
+    reg = MetricsRegistry()
+    reg.counter("z").inc()
+    reg.counter("a").inc(2)
+    reg.histogram("h", (1.0,)).observe(0.5)
+    assert render_prometheus(reg) == render_prometheus(reg)
+
+
+def test_empty_registry_renders_empty():
+    assert render_prometheus(MetricsRegistry()) == ""

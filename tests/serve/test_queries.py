@@ -1,0 +1,146 @@
+"""Capacity-planning queries: values, provenance, error surfaces."""
+
+import json
+
+import pytest
+
+from repro.exec import ResultCache, config_key
+from repro.exec.hashing import KEY_FORMAT
+from repro.experiments import sweep_config
+from repro.serve import SurfaceIndex, answer_query
+from repro.serve.queries import QueryError
+
+
+def _row(load, seed):
+    """Blocking rises linearly with load so the admissibility frontier
+    sits at a hand-computable coordinate."""
+    return {
+        "blocking_probability": 0.01 * load,
+        "dropping_probability": 0.001 * load,
+        "voice_delay_mean": 0.004 * load,
+        "calls_admitted_new": 100 - 10 * load,
+        "calls_blocked": 10 * load,
+        "calls_dropped": 2.0 * load,
+        "call_attempts_handoff": 20.0,
+        "ess": {"handoffs_injected": 5.0 * load},
+    }
+
+
+@pytest.fixture
+def index(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    for load in (0.5, 1.0, 2.0):
+        for seed in (1, 2):
+            cfg = sweep_config("proposed", load, seed, 8.0, 1.0)
+            cache.put(config_key(cfg), _row(load, seed), cfg)
+    return SurfaceIndex.from_cache(cache)
+
+
+class TestOperatingPoint:
+    def test_exact_point_with_provenance(self, index):
+        result = answer_query(
+            index, "operating_point", {"scheme": "proposed", "load": 1.0}
+        )
+        assert result.values["blocking_probability"] == pytest.approx(0.01)
+        prov = result.provenance
+        assert prov["mode"] == "exact"
+        assert prov["key_format"] == KEY_FORMAT
+        assert len(prov["cache_keys"]) == 2
+
+    def test_metric_subset_and_missing_metric(self, index):
+        result = answer_query(
+            index,
+            "operating_point",
+            {"scheme": "proposed", "load": 1.0,
+             "metrics": "blocking_probability"},
+        )
+        assert list(result.values) == ["blocking_probability"]
+        with pytest.raises(QueryError) as err:
+            answer_query(
+                index,
+                "operating_point",
+                {"scheme": "proposed", "load": 1.0, "metrics": "nope"},
+            )
+        assert err.value.code == "missing_metric"
+        assert err.value.detail["missing"] == ["nope"]
+
+    def test_exact_flag_refuses_interpolation(self, index):
+        with pytest.raises(QueryError) as err:
+            answer_query(
+                index,
+                "operating_point",
+                {"scheme": "proposed", "load": 0.75, "exact": "true"},
+            )
+        assert err.value.code == "missing_points"
+
+    def test_responses_are_byte_deterministic(self, index):
+        params = {"scheme": "proposed", "load": 1.25}
+        a = answer_query(index, "operating_point", params).to_dict()
+        b = answer_query(index, "operating_point", params).to_dict()
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+    def test_scheme_is_required(self, index):
+        with pytest.raises(QueryError) as err:
+            answer_query(index, "operating_point", {"load": 1.0})
+        assert err.value.code == "bad_request"
+
+
+class TestAdmissibleCalls:
+    def test_frontier_is_bisected_between_grid_loads(self, index):
+        # blocking = 0.01*load crosses the 0.015 ceiling at load = 1.5
+        result = answer_query(
+            index,
+            "admissible_calls",
+            {"scheme": "proposed",
+             "constraints": {"blocking_probability": 0.015}},
+        )
+        assert result.values["admissible"] is True
+        assert result.values["saturated"] is False
+        assert result.values["max_load"] == pytest.approx(1.5, abs=1e-4)
+        assert "calls_admitted_new" in result.values["at_max_load"]
+
+    def test_saturated_when_no_load_violates(self, index):
+        result = answer_query(
+            index,
+            "admissible_calls",
+            {"scheme": "proposed",
+             "constraints": {"blocking_probability": 0.5}},
+        )
+        assert result.values["saturated"] is True
+        assert result.values["max_load"] == 2.0
+
+    def test_not_admissible_at_lightest_load(self, index):
+        result = answer_query(
+            index,
+            "admissible_calls",
+            {"scheme": "proposed",
+             "constraints": {"blocking_probability": 0.0001}},
+        )
+        assert result.values["admissible"] is False
+        assert result.values["max_load"] is None
+
+    def test_unknown_constraint_metric_errors(self, index):
+        with pytest.raises(QueryError) as err:
+            answer_query(
+                index,
+                "admissible_calls",
+                {"scheme": "proposed", "constraints": {"nope": 1.0}},
+            )
+        assert err.value.code == "missing_metric"
+
+
+class TestHandoffDropRate:
+    def test_rate_and_ess_metrics(self, index):
+        result = answer_query(
+            index, "handoff_drop_rate", {"scheme": "proposed", "load": 1.0}
+        )
+        assert result.values["handoff_attempts_mean"] == 20.0
+        assert result.values["handoff_drop_rate"] == pytest.approx(0.1)
+        assert result.values["ess"]["ess.handoffs_injected"] == 5.0
+
+
+def test_unknown_kind_is_bad_request(index):
+    with pytest.raises(QueryError) as err:
+        answer_query(index, "telepathy", {"scheme": "proposed"})
+    assert err.value.code == "bad_request"
+    assert "telepathy" in str(err.value)
