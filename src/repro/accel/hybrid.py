@@ -1,0 +1,202 @@
+"""The hybrid-fidelity tier: exact prefix + analytic closure.
+
+A hybrid run drives the ordinary per-frame scenario in fixed-width
+segments and samples a :class:`SaturationDetector` between them.  Once
+every data station in the BSS has been saturated — non-empty DCF
+queue at every sample *and* channel occupancy above threshold — for
+``consecutive`` windows, and the scenario is *homogeneous* (pure
+equal-rate data contention, stationary Poisson arrivals), per-frame
+simulation stops: the remainder of the horizon is answered by the
+Bianchi saturation model (:mod:`repro.core.capacity`) — the same
+fixed point the adaptive-CW controller inverts — and the row is
+flagged ``fidelity="analytic"`` with the switch time recorded.
+
+Exactness contract (see DESIGN.md "Engine tiers"):
+
+* a ``FaultPlan`` or trace attachment is **refused** outright
+  (``ScenarioConfig`` raises at construction): the analytic closure
+  cannot represent injected faults or emit per-frame events;
+* scenarios whose offered load can drift mid-run (neighbourhood
+  mobility, any real-time call traffic, ESS shards) never switch —
+  the detector's homogeneity precondition fails and the run completes
+  exact, flagged ``fidelity="exact"``.  This is the "re-enter exact on
+  load change" rule collapsed to its stationary-config form: within
+  one config the offered load is constant, so the only sound analytic
+  region is one that provably extends to the horizon.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from ..core.capacity import (
+    bianchi_tau,
+    failure_probability,
+    saturation_throughput,
+)
+from ..network.bss import BssScenario, ScenarioConfig
+from ..phy.timing import PhyTiming
+from .engine import _ACK_BITS, _DATA_HEADER_BITS, fast_path_eligible
+
+__all__ = ["SaturationDetector", "run_hybrid"]
+
+#: detector defaults: occupancy window width (s), windows required,
+#: and the busy-fraction floor that counts as "saturated"
+#: (saturated DCF plateaus near 0.88 with these PHY constants: backoff
+#: slots keep the channel idle ~12% of the time even at full queues)
+DEFAULT_WINDOW = 0.5
+DEFAULT_CONSECUTIVE = 3
+DEFAULT_OCCUPANCY = 0.85
+
+
+class SaturationDetector:
+    """Rolling contention-occupancy detector over a fixed window.
+
+    Sampled at window boundaries by :func:`run_hybrid`; ``update``
+    returns True once ``consecutive`` windows in a row were saturated.
+    """
+
+    def __init__(
+        self,
+        scenario: BssScenario,
+        window: float = DEFAULT_WINDOW,
+        consecutive: int = DEFAULT_CONSECUTIVE,
+        occupancy: float = DEFAULT_OCCUPANCY,
+    ) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be > 0, got {window}")
+        if consecutive < 1:
+            raise ValueError(f"consecutive must be >= 1, got {consecutive}")
+        if not 0.0 < occupancy <= 1.0:
+            raise ValueError(f"occupancy must be in (0, 1], got {occupancy}")
+        self.scenario = scenario
+        self.window = window
+        self.consecutive = consecutive
+        self.occupancy = occupancy
+        self.streak = 0
+        self._last_busy = 0.0
+
+    def window_occupancy(self, now: float) -> float:
+        """Channel busy fraction over the window just ended."""
+        channel = self.scenario.channel
+        busy = channel.busy_time
+        if channel._busy_started is not None:
+            busy += now - channel._busy_started
+        frac = (busy - self._last_busy) / self.window
+        self._last_busy = busy
+        return min(1.0, max(0.0, frac))
+
+    def update(self, now: float) -> bool:
+        """Fold in one window sample; True once the streak is enough."""
+        stations = self.scenario.data_stations
+        occupied = self.window_occupancy(now)
+        saturated = (
+            bool(stations)
+            and all(st.dcf.busy for st in stations)
+            and occupied >= self.occupancy
+        )
+        self.streak = self.streak + 1 if saturated else 0
+        return self.streak >= self.consecutive
+
+
+def _analytic_closure(
+    config: ScenarioConfig, row: dict[str, typing.Any], switch_time: float
+) -> dict[str, typing.Any]:
+    """Extend the exact-prefix row to ``sim_time`` analytically."""
+    timing = PhyTiming()
+    n = config.n_data_stations
+    remaining = config.sim_time - switch_time
+    mean_msdu = 1024 * 8
+    # conventional scheme => StandardBEB(32, 1024): 5 doubling stages
+    pe_data = 1.0 - (1.0 - config.ber) ** (mean_msdu + _DATA_HEADER_BITS)
+    pe_ack = 1.0 - (1.0 - config.ber) ** _ACK_BITS
+    pe = 1.0 - (1.0 - pe_data) * (1.0 - pe_ack)
+    tau = bianchi_tau(n, 32, 5, pe)
+    p_fail = failure_probability(tau, n, pe)
+    s = saturation_throughput(n, tau, timing, mean_msdu, pe)
+    throughput_bps = s * timing.data_rate
+    synth_delivered = int(throughput_bps * remaining / mean_msdu)
+    # saturated stations drain in round-robin renewal: the mean MAC
+    # service interval per station is the analytic access-delay proxy
+    per_station_interval = (
+        n * mean_msdu / throughput_bps if throughput_bps > 0 else 0.0
+    )
+
+    measured = config.sim_time - config.warmup
+    prefix_measured = max(0.0, switch_time - config.warmup)
+    prefix_goodput = row.get("goodput_utilization", 0.0)
+    row["data_delivered"] = row.get("data_delivered", 0) + synth_delivered
+    row["data_delay_mean"] = per_station_interval
+    row["goodput_utilization"] = (
+        prefix_goodput * prefix_measured + s * remaining
+    ) / measured
+    row["analytic"] = {
+        "tau": tau,
+        "failure_probability": p_fail,
+        "saturation_throughput": s,
+        "synthesized_delivered": synth_delivered,
+        "span": remaining,
+    }
+    return row
+
+
+def run_hybrid(
+    config: ScenarioConfig,
+    *,
+    window: float = DEFAULT_WINDOW,
+    consecutive: int = DEFAULT_CONSECUTIVE,
+    occupancy: float = DEFAULT_OCCUPANCY,
+) -> dict[str, typing.Any]:
+    """Run one point under the hybrid tier.
+
+    Returns the standard result row plus ``engine="hybrid"``,
+    ``fidelity`` (``"analytic"`` when the closure fired, else
+    ``"exact"``) and — when analytic — ``analytic_switch_time`` and an
+    ``analytic`` sub-dict with the model's internals.
+    """
+    if config.faults is not None or config.trace is not None:
+        # ScenarioConfig refuses this combination at construction; the
+        # double check guards callers replacing fields post-hoc
+        raise ValueError("hybrid engine refuses FaultPlan/trace attachments")
+    # the analytic model covers homogeneous saturated DCF only — the
+    # same shape the batched fast path requires (minus monitors, which
+    # hybrid tolerates by just never switching)
+    analytic_ok = fast_path_eligible(
+        config if not config.monitor_invariants else
+        dataclasses.replace(config, monitor_invariants=False)
+    )
+    scenario = BssScenario(config)
+    scenario.begin()
+    detector = SaturationDetector(
+        scenario, window=window, consecutive=consecutive, occupancy=occupancy
+    )
+    switch_time: float | None = None
+    t = 0.0
+    while t < config.sim_time - 1e-12:
+        t = min(t + window, config.sim_time)
+        scenario.sim.run(until=t)
+        # the streak may fill up during warmup, but the switch itself
+        # waits for a window boundary strictly past it: the exact
+        # prefix must cover the whole warmup so the measured span of
+        # collect_results(horizon=...) stays positive
+        if (
+            analytic_ok
+            and detector.update(t)
+            and t > config.warmup
+            and t < config.sim_time
+        ):
+            switch_time = t
+            break
+    if switch_time is None:
+        row = scenario.collect_results()
+        row["engine"] = "hybrid"
+        row["fidelity"] = "exact"
+        return row
+    row = scenario.collect_results(horizon=switch_time)
+    row = _analytic_closure(config, row, switch_time)
+    row["engine"] = "hybrid"
+    row["fidelity"] = "analytic"
+    row["analytic_switch_time"] = switch_time
+    row["sim_time"] = config.sim_time
+    return row

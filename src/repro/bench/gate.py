@@ -16,9 +16,10 @@ Wall-clock numbers are machine-relative; CI therefore runs the gate
 with a generous tolerance (``--tolerance 0.25``) while the exact
 ``events`` check stays machine-independent.  ``--update`` rewrites the
 baseline deliberately, preserving the ``pre_pr_baseline``,
-``parallel_sweep`` and ``serve_queries`` sections it does not
-re-measure (``--with-sweep`` / ``--with-serve`` re-measure the latter
-two).
+``parallel_sweep``, ``serve_queries`` and ``accel`` sections it does
+not re-measure (``--with-sweep`` / ``--with-serve`` / ``--with-accel``
+re-measure the latter three).  ``--with-accel`` additionally enforces
+the accelerated-tier speedup floors (see ``run_accel_section``).
 """
 
 from __future__ import annotations
@@ -92,6 +93,8 @@ def compare(
     problems: list[str] = []
     fresh_benches = fresh.get("benchmarks", {})
     for name, base in sorted(baseline.get("benchmarks", {}).items()):
+        if not isinstance(base, dict):  # metadata keys (e.g. cpu_cores)
+            continue
         got = fresh_benches.get(name)
         if got is None:
             problems.append(f"{name}: baselined benchmark missing from run")
@@ -174,6 +177,61 @@ def run_parallel_sweep(
     }
 
 
+# -- accelerated-tier wiring -------------------------------------------------
+
+def run_accel_section(
+    results: dict[str, typing.Any] | None = None, repeats: int = 3
+) -> dict[str, typing.Any]:
+    """Measure both accelerated tiers against exact, same process.
+
+    * ``batched_speedup`` — modeled events/s of ``batched_end_to_end``
+      over exact ``end_to_end`` (ratio of same-run numbers, so shared
+      machine noise cancels);
+    * ``hybrid_speedup`` — wall-clock of the exact per-frame run of the
+      saturated ``hybrid_saturated`` config over the hybrid run's wall.
+
+    Reuses entries from ``results`` (a fresh ``run_benchmarks`` dict)
+    when present so a gate run does not measure the suites twice.
+    """
+    import dataclasses as _dc
+    import time as _time
+
+    from ..network.bss import BssScenario
+    from .micro import _accel_scenario, run_benchmark
+
+    need = ("end_to_end", "batched_end_to_end", "hybrid_saturated")
+    measured = {
+        name: (results or {}).get(name)
+        or run_benchmark(name, repeats=repeats, measure_alloc=False)
+        for name in need
+    }
+
+    # must mirror _bench_hybrid_saturated exactly: the exact reference
+    # below is this same point with only the engine flipped
+    hybrid_cfg = _accel_scenario(
+        engine="hybrid", sim_time=60.0, warmup=1.0,
+        n_data_stations=8, load=20.0,
+    )
+    exact_cfg = _dc.replace(hybrid_cfg, engine="exact")
+    start = _time.perf_counter()
+    BssScenario(exact_cfg).run()
+    exact_wall = _time.perf_counter() - start
+
+    batched = measured["batched_end_to_end"]
+    exact = measured["end_to_end"]
+    hybrid = measured["hybrid_saturated"]
+    return {
+        "exact_events_per_sec": exact["events_per_sec"],
+        "batched_events_per_sec": batched["events_per_sec"],
+        "batched_speedup": round(
+            batched["events_per_sec"] / exact["events_per_sec"], 2
+        ),
+        "hybrid_exact_wall_s": round(exact_wall, 3),
+        "hybrid_wall_s": hybrid["wall_s"],
+        "hybrid_speedup": round(exact_wall / hybrid["wall_s"], 1),
+    }
+
+
 # -- CLI ---------------------------------------------------------------------
 
 def main(argv: list[str] | None = None) -> int:
@@ -210,6 +268,16 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--with-serve", action="store_true",
                         help="also measure the serving closed-loop section "
                              "(requests/sec, hit rate, latency quantiles)")
+    parser.add_argument("--with-accel", action="store_true",
+                        help="also measure the accelerated-tier section "
+                             "(batched ev/s and hybrid wall speedups vs "
+                             "exact) and enforce the speedup floors")
+    parser.add_argument("--min-batched-speedup", type=float, default=5.0,
+                        help="with --with-accel: required batched ev/s "
+                             "multiple over exact end_to_end (default: 5)")
+    parser.add_argument("--min-hybrid-speedup", type=float, default=10.0,
+                        help="with --with-accel: required hybrid wall-clock "
+                             "multiple on the saturated point (default: 10)")
     parser.add_argument("--update", action="store_true",
                         help="rewrite the baseline from this run and exit 0")
     args = parser.parse_args(argv)
@@ -230,6 +298,9 @@ def main(argv: list[str] | None = None) -> int:
         measure_alloc=not args.skip_alloc,
         progress=progress,
     )
+    import os as _os
+
+    results["cpu_cores"] = _os.cpu_count() or 1
     report: dict[str, typing.Any] = {"schema": _SCHEMA, "benchmarks": results}
 
     baseline: dict[str, typing.Any] | None = None
@@ -239,7 +310,9 @@ def main(argv: list[str] | None = None) -> int:
         pass
     if baseline is not None:
         # carry the sections a fresh run does not re-measure
-        for section in ("pre_pr_baseline", "parallel_sweep", "serve_queries"):
+        for section in (
+            "pre_pr_baseline", "parallel_sweep", "serve_queries", "accel"
+        ):
             if section in baseline:
                 report[section] = baseline[section]
 
@@ -272,6 +345,31 @@ def main(argv: list[str] | None = None) -> int:
                     f"{pool_workers} workers (no parallelism to measure)",
                     file=sys.stderr,
                 )
+
+    if args.with_accel:
+        report["accel"] = accel = run_accel_section(results)
+        print(
+            f"  accel            batched {accel['batched_speedup']}x ev/s "
+            f"({accel['batched_events_per_sec']:,} vs "
+            f"{accel['exact_events_per_sec']:,}), "
+            f"hybrid {accel['hybrid_speedup']}x wall "
+            f"({accel['hybrid_exact_wall_s']}s -> {accel['hybrid_wall_s']}s)",
+            file=sys.stderr,
+        )
+        if accel["batched_speedup"] < args.min_batched_speedup:
+            print(
+                f"error: batched speedup {accel['batched_speedup']}x < "
+                f"required {args.min_batched_speedup}x",
+                file=sys.stderr,
+            )
+            return 1
+        if accel["hybrid_speedup"] < args.min_hybrid_speedup:
+            print(
+                f"error: hybrid speedup {accel['hybrid_speedup']}x < "
+                f"required {args.min_hybrid_speedup}x",
+                file=sys.stderr,
+            )
+            return 1
 
     if args.with_serve:
         from .serve import run_serve_queries

@@ -63,7 +63,16 @@ _POLL_TICK = 0.25
 
 
 def default_point_fn(config: ScenarioConfig) -> dict[str, typing.Any]:
-    """Build and run one scenario — the executor's unit of work."""
+    """Build and run one scenario — the executor's unit of work.
+
+    Non-exact engine tiers route through :mod:`repro.accel` (imported
+    lazily so exact-only deployments never pay for numpy batch setup);
+    the default exact tier runs the per-frame simulator untouched.
+    """
+    if config.engine != "exact":
+        from ..accel import run_scenario
+
+        return run_scenario(config)
     return BssScenario(config).run()
 
 

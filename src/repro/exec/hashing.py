@@ -18,10 +18,19 @@ import hashlib
 import json
 import typing
 
+from ..obs.jsonutil import jsonable
+
 if typing.TYPE_CHECKING:  # pragma: no cover
     from ..network.bss import ScenarioConfig
 
-__all__ = ["KEY_FORMAT", "jsonable", "canonical_json", "normalize_row", "config_key"]
+__all__ = [
+    "KEY_FORMAT",
+    "ACCEL_KEY_FORMAT",
+    "jsonable",
+    "canonical_json",
+    "normalize_row",
+    "config_key",
+]
 
 #: bump to invalidate every existing cache entry and journal row
 #: (2: ScenarioConfig grew monitor_invariants, changing to_dict();
@@ -33,16 +42,12 @@ __all__ = ["KEY_FORMAT", "jsonable", "canonical_json", "normalize_row", "config_
 #:  shards carry an ess sub-dict)
 KEY_FORMAT = 5
 
-
-def jsonable(value: typing.Any) -> typing.Any:
-    """Coerce numpy scalars and tuples into plain JSON types."""
-    if isinstance(value, dict):
-        return {k: jsonable(v) for k, v in value.items()}
-    if isinstance(value, (list, tuple)):
-        return [jsonable(v) for v in value]
-    if hasattr(value, "item"):  # numpy scalar
-        return value.item()
-    return value
+#: key format for accelerated-tier points only.  ``ScenarioConfig``
+#: omits ``engine`` from :meth:`to_dict` when it is ``"exact"``, so
+#: exact points keep their ``KEY_FORMAT`` 5 keys (and cached results)
+#: untouched; ``engine="batched"``/``"hybrid"`` rows carry engine-tier
+#: fields and hash under this format instead.
+ACCEL_KEY_FORMAT = 6
 
 
 def canonical_json(value: typing.Any) -> str:
@@ -63,5 +68,7 @@ def normalize_row(row: dict[str, typing.Any]) -> dict[str, typing.Any]:
 
 def config_key(config: "ScenarioConfig") -> str:
     """Content-addressed identity of one simulation point."""
-    payload = {"format": KEY_FORMAT, "config": config.to_dict()}
+    d = config.to_dict()
+    fmt = ACCEL_KEY_FORMAT if "engine" in d else KEY_FORMAT
+    payload = {"format": fmt, "config": d}
     return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()

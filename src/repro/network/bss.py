@@ -45,9 +45,12 @@ from ..traffic.voice import VoiceParams
 from .calls import CallGenerator, CallMixConfig
 from .mobility import EssCellContext
 
-__all__ = ["ScenarioConfig", "BssScenario", "SCHEMES"]
+__all__ = ["ScenarioConfig", "BssScenario", "SCHEMES", "ENGINES"]
 
 SCHEMES = ("proposed", "proposed-multipoll", "conventional")
+
+#: engine tiers (see repro.accel and DESIGN.md "Engine tiers")
+ENGINES = ("exact", "batched", "hybrid")
 
 #: fixed real-time MPDU payload used throughout the evaluation
 RT_PACKET_BITS = 512 * 8
@@ -117,10 +120,30 @@ class ScenarioConfig:
     #: priority partition of the contention window (paper Table I)
     alphas: tuple[int, ...] = (4, 4, 8)
     beta: int = 0
+    #: engine tier (repro.accel): "exact" (the default, byte-for-byte
+    #: the seed's per-frame simulation), "batched" (vectorized RNG +
+    #: slab agenda; statistically equivalent, own golden fixture) or
+    #: "hybrid" (exact prefix + analytic closure once every station is
+    #: saturated; rows flag ``fidelity``).  "exact" is omitted from
+    #: :meth:`to_dict` so exact cache keys and journals never change.
+    engine: str = "exact"
 
     def __post_init__(self) -> None:
         if self.scheme not in SCHEMES:
             raise ValueError(f"scheme must be one of {SCHEMES}, got {self.scheme!r}")
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"engine must be one of {ENGINES}, got {self.engine!r}"
+            )
+        if self.engine == "hybrid" and (
+            self.faults is not None or self.trace is not None
+        ):
+            # the analytic closure cannot represent injected faults or
+            # per-frame trace events; refusing beats silently degrading
+            raise ValueError(
+                "engine='hybrid' is refused when a FaultPlan or trace "
+                "is attached (see DESIGN.md 'Engine tiers')"
+            )
         if self.mobility not in ("poisson", "neighborhood"):
             raise ValueError(
                 f"mobility must be 'poisson' or 'neighborhood', got {self.mobility!r}"
@@ -144,6 +167,11 @@ class ScenarioConfig:
         d["faults"] = self.faults.to_dict() if self.faults is not None else None
         d["trace"] = self.trace.to_dict() if self.trace is not None else None
         d["ess"] = self.ess.to_dict() if self.ess is not None else None
+        if self.engine == "exact":
+            # exact points keep the pre-accel dict shape, so their
+            # content-addressed keys (KEY_FORMAT 5) and cached rows
+            # stay byte-identical; from_dict defaults engine back in
+            del d["engine"]
         return d
 
     @classmethod
@@ -487,14 +515,38 @@ class BssScenario:
         return out
 
     # -- execution ---------------------------------------------------------------------
-    def run(self) -> dict[str, typing.Any]:
-        """Run to ``sim_time`` and summarize everything the figures need."""
-        cfg = self.config
+    def begin(self) -> None:
+        """Start the traffic generators without running the clock.
+
+        :meth:`run` calls this itself; the hybrid engine tier calls it
+        directly and then drives ``sim.run(until=...)`` in segments so
+        its saturation detector can sample between them.
+        """
         self.call_generator.start()
         if self.mobility is not None:
             self.mobility.start()
-        self.sim.run(until=cfg.sim_time)
-        measured = cfg.sim_time - cfg.warmup
+
+    def run(self) -> dict[str, typing.Any]:
+        """Run to ``sim_time`` and summarize everything the figures need."""
+        self.begin()
+        self.sim.run(until=self.config.sim_time)
+        return self.collect_results()
+
+    def collect_results(
+        self, horizon: float | None = None
+    ) -> dict[str, typing.Any]:
+        """Summarize the run as one result row.
+
+        ``horizon`` is the simulated span the rates are normalized
+        over; the default (``sim_time``) is the full-run case and
+        reproduces the historical row byte-for-byte.  The hybrid tier
+        passes the analytic switch time instead, so the exact-prefix
+        statistics are normalized over the span actually simulated.
+        """
+        cfg = self.config
+        if horizon is None:
+            horizon = cfg.sim_time
+        measured = horizon - cfg.warmup
         results = self.collector.summary()
         gen = self.call_generator
         results.update(
@@ -512,7 +564,7 @@ class BssScenario:
                 "calls_admitted_handoff": gen.admitted["handoff"],
                 "calls_blocked": gen.blocked,
                 "calls_dropped": gen.dropped,
-                "channel_busy_fraction": self.channel.utilization(cfg.sim_time),
+                "channel_busy_fraction": self.channel.utilization(horizon),
                 "goodput_utilization": self.collector.utilization(
                     measured, self.timing.data_rate
                 ),
@@ -525,7 +577,7 @@ class BssScenario:
             results["analytic_video_bounds"] = self.ap.admission.video_bounds()
         if self.invariants is not None:
             results["invariant_violations"] = self.invariants.finalize(
-                self.collector, cfg.sim_time
+                self.collector, horizon
             )
         if cfg.faults is not None:
             # after finalize, so the QoS-breach degradation is included

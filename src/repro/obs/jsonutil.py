@@ -1,0 +1,31 @@
+"""Shared JSON-type coercion for result rows and trace records.
+
+Both the execution subsystem's canonical hashing
+(:mod:`repro.exec.hashing`) and the trace exporter
+(:mod:`repro.obs.trace`) must turn numpy scalars and tuples into plain
+JSON types before serializing.  The helper lives here, in ``obs`` —
+the lowest observability layer — so ``exec`` can import it without
+``obs`` ever importing upward.
+"""
+
+from __future__ import annotations
+
+import typing
+
+__all__ = ["jsonable"]
+
+
+def jsonable(value: typing.Any) -> typing.Any:
+    """Coerce numpy scalars and tuples into plain JSON types.
+
+    Dicts and lists are rebuilt recursively, tuples become lists, and
+    anything exposing ``.item()`` (numpy scalars) is unwrapped.  Plain
+    JSON values pass through unchanged.
+    """
+    if isinstance(value, dict):
+        return {k: jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable(v) for v in value]
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    return value

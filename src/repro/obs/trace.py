@@ -26,6 +26,10 @@ import collections
 import json
 import typing
 
+# shared with repro.exec.hashing; obs sits below the exec layer, so
+# the one definition lives here in obs (see repro.obs.jsonutil)
+from .jsonutil import jsonable as _jsonable
+
 __all__ = [
     "CATEGORIES",
     "RESERVED_KEYS",
@@ -51,19 +55,6 @@ CATEGORIES: tuple[str, ...] = (
 RESERVED_KEYS = frozenset({"t", "seq", "cat", "ev"})
 
 
-def _jsonable(value: typing.Any) -> typing.Any:
-    """Coerce numpy scalars / tuples into plain JSON types.
-
-    (A local copy of :func:`repro.exec.hashing.jsonable` — obs sits
-    below the exec layer and must not import it.)
-    """
-    if isinstance(value, dict):
-        return {k: _jsonable(v) for k, v in value.items()}
-    if isinstance(value, (list, tuple)):
-        return [_jsonable(v) for v in value]
-    if hasattr(value, "item"):  # numpy scalar
-        return value.item()
-    return value
 
 
 class TraceConfig:

@@ -1,0 +1,120 @@
+"""Hybrid tier: saturation detection, analytic closure, refusals.
+
+The hybrid engine runs the exact event-driven scenario until the
+saturation detector fires, then answers the rest of the horizon with
+the Bianchi fixed-point closure from :mod:`repro.core.capacity`.  Rows
+that took the switch are flagged ``fidelity="analytic"``; rows that
+never saturated are full exact runs flagged ``fidelity="exact"``.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.accel import run_scenario
+from repro.accel.hybrid import run_hybrid
+from repro.faults import FaultPlan, FrameLossRule
+from repro.network.bss import ScenarioConfig
+from repro.obs import TraceConfig
+
+
+def hybrid_config(**overrides) -> ScenarioConfig:
+    """A saturating pure-DCF point (the ``hybrid_saturated`` shape)."""
+    base = dict(
+        scheme="conventional",
+        seed=7,
+        sim_time=30.0,
+        warmup=2.0,
+        load=20.0,
+        n_data_stations=8,
+        new_voice_rate=0.0,
+        new_video_rate=0.0,
+        handoff_voice_rate=0.0,
+        handoff_video_rate=0.0,
+        engine="hybrid",
+    )
+    base.update(overrides)
+    return ScenarioConfig(**base)
+
+
+class TestAnalyticSwitch:
+    def test_saturated_point_switches_to_analytic(self):
+        row = run_scenario(hybrid_config())
+        assert row["engine"] == "hybrid"
+        assert row["fidelity"] == "analytic"
+        # the switch happens a few detector windows past warmup, far
+        # short of the horizon — that gap is the whole speedup
+        assert 0.0 < row["analytic_switch_time"] < 10.0
+        assert row["sim_time"] == 30.0
+
+    def test_analytic_subdict_exposes_model_internals(self):
+        row = run_scenario(hybrid_config())
+        model = row["analytic"]
+        assert 0.0 < model["tau"] < 1.0
+        assert 0.0 < model["failure_probability"] < 1.0
+        assert 0.0 < model["saturation_throughput"] <= 1.0
+        assert model["synthesized_delivered"] > 0
+        assert model["span"] == pytest.approx(
+            30.0 - row["analytic_switch_time"]
+        )
+
+    def test_analytic_row_is_deterministic(self):
+        from repro.exec import canonical_json
+
+        a = run_scenario(hybrid_config())
+        b = run_scenario(hybrid_config())
+        assert canonical_json(a) == canonical_json(b)
+
+    def test_synthesized_delivery_dominates_the_row(self):
+        # almost the whole horizon is analytic; the closure's MSDUs
+        # must account for most of the reported deliveries
+        row = run_scenario(hybrid_config())
+        assert row["analytic"]["synthesized_delivered"] > row["data_delivered"] / 2
+
+
+class TestExactFallback:
+    def test_unsaturated_point_stays_exact(self):
+        row = run_scenario(
+            hybrid_config(load=0.3, n_data_stations=2, sim_time=8.0)
+        )
+        assert row["engine"] == "hybrid"
+        assert row["fidelity"] == "exact"
+        assert "analytic" not in row
+        assert "analytic_switch_time" not in row
+
+    def test_detector_tuning_is_respected(self):
+        # an unreachable streak requirement means the switch can never
+        # fire inside the horizon, even on the saturating point
+        row = run_hybrid(hybrid_config(sim_time=6.0), consecutive=1000)
+        assert row["fidelity"] == "exact"
+
+    def test_detector_rejects_bad_tuning(self):
+        with pytest.raises(ValueError):
+            run_hybrid(hybrid_config(sim_time=6.0), occupancy=1.1)
+        with pytest.raises(ValueError):
+            run_hybrid(hybrid_config(sim_time=6.0), window=0.0)
+        with pytest.raises(ValueError):
+            run_hybrid(hybrid_config(sim_time=6.0), consecutive=0)
+
+
+class TestRefusals:
+    def test_config_refuses_fault_plan(self):
+        with pytest.raises(ValueError, match="hybrid"):
+            hybrid_config(
+                faults=FaultPlan(frame_loss=(FrameLossRule("cf_poll", 0.1),))
+            )
+
+    def test_config_refuses_trace(self):
+        with pytest.raises(ValueError, match="hybrid"):
+            hybrid_config(trace=TraceConfig())
+
+    def test_run_hybrid_guards_post_hoc_replacement(self):
+        # dataclasses.replace can bypass __post_init__ ordering games;
+        # the runner re-checks
+        cfg = hybrid_config()
+        object.__setattr__(
+            cfg, "faults",
+            FaultPlan(frame_loss=(FrameLossRule("cf_poll", 0.1),)),
+        )
+        with pytest.raises(ValueError, match="refuses"):
+            run_hybrid(cfg)

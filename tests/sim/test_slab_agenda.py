@@ -1,0 +1,109 @@
+"""SlabAgenda: the typed array-of-structs agenda the batched tier uses.
+
+Entries live in parallel numpy slabs ordered by a heap of bare
+``(time, seq, slot)`` triples; the contract mirrors the object agenda:
+FIFO within equal timestamps, tombstoned cancellation, steady-state
+zero allocation (slot reuse), and growth on demand.
+"""
+
+import pytest
+
+from repro.sim.engine import SlabAgenda
+
+
+class TestOrdering:
+    def test_pops_in_time_order(self):
+        agenda = SlabAgenda()
+        for t in (3.0, 1.0, 2.0):
+            agenda.push(t, kind=1, owner=int(t))
+        popped = [agenda.pop() for _ in range(3)]
+        assert popped == [(1.0, 1, 1), (2.0, 1, 2), (3.0, 1, 3)]
+
+    def test_ties_pop_in_insertion_order(self):
+        agenda = SlabAgenda()
+        for owner in range(5):
+            agenda.push(7.0, kind=2, owner=owner)
+        assert [agenda.pop()[2] for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_peek_time_matches_next_pop(self):
+        agenda = SlabAgenda()
+        agenda.push(4.5, 1, 0)
+        agenda.push(1.25, 2, 1)
+        assert agenda.peek_time() == 1.25
+        assert agenda.pop() == (1.25, 2, 1)
+        assert agenda.peek_time() == 4.5
+
+    def test_empty_agenda(self):
+        agenda = SlabAgenda()
+        assert len(agenda) == 0
+        assert agenda.peek_time() == float("inf")
+        with pytest.raises(IndexError):
+            agenda.pop()
+
+
+class TestCancellation:
+    def test_cancelled_entries_are_skipped(self):
+        agenda = SlabAgenda()
+        keep = agenda.push(1.0, 1, 10)
+        drop = agenda.push(0.5, 1, 11)
+        agenda.cancel(drop)
+        assert len(agenda) == 1
+        assert agenda.peek_time() == 1.0
+        assert agenda.pop() == (1.0, 1, 10)
+        del keep
+
+    def test_cancel_is_idempotent(self):
+        agenda = SlabAgenda()
+        slot = agenda.push(1.0, 3, 0)
+        agenda.push(2.0, 1, 1)
+        agenda.cancel(slot)
+        agenda.cancel(slot)
+        assert len(agenda) == 1
+        assert agenda.pop() == (2.0, 1, 1)
+
+    def test_cancel_all_then_peek_drains_tombstones(self):
+        agenda = SlabAgenda()
+        slots = [agenda.push(float(i), 1, i) for i in range(8)]
+        for slot in slots:
+            agenda.cancel(slot)
+        assert len(agenda) == 0
+        assert agenda.peek_time() == float("inf")
+
+
+class TestSlotReuse:
+    def test_slots_recycle_at_steady_state(self):
+        # a small agenda cycled far past its capacity must never grow:
+        # pop/cancel return slots to the free list
+        agenda = SlabAgenda(capacity=4)
+        for i in range(100):
+            agenda.push(float(i), 1, i)
+            assert agenda.pop() == (float(i), 1, i)
+        assert len(agenda.times) == 4
+
+    def test_grows_when_full(self):
+        agenda = SlabAgenda(capacity=2)
+        slots = [agenda.push(float(i), 1, i) for i in range(5)]
+        assert len(agenda.times) >= 5
+        assert len(set(slots)) == 5  # distinct slots across growth
+        assert [agenda.pop()[2] for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_growth_preserves_pending_entries(self):
+        agenda = SlabAgenda(capacity=1)
+        agenda.push(2.0, 5, 42)
+        agenda.push(1.0, 6, 43)  # forces growth with one entry live
+        assert agenda.pop() == (1.0, 6, 43)
+        assert agenda.pop() == (2.0, 5, 42)
+
+    def test_kind_zero_round_trips(self):
+        # kind 0 must tombstone and revive like any other (the encoding
+        # is -1 - kind, so 0 maps to -1, not 0)
+        agenda = SlabAgenda()
+        slot = agenda.push(1.0, 0, 9)
+        agenda.cancel(slot)
+        assert len(agenda) == 0
+        agenda.push(2.0, 0, 9)
+        assert agenda.pop() == (2.0, 0, 9)
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            SlabAgenda(capacity=0)

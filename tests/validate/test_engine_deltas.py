@@ -1,0 +1,81 @@
+"""Engine-tier validation: per-claim verdict deltas vs the exact grid.
+
+``repro validate --engine batched`` runs the tier grid under the
+requested engine and, for non-exact engines, additionally evaluates
+the same claims on the exact grid, reporting per-claim verdict deltas.
+The deltas are informational: ``passed`` reflects the requested
+engine's claims only.  A tiny custom :class:`TierSpec` keeps this fast
+enough for the unit suite.
+"""
+
+import pytest
+
+from repro.validate.runner import TierSpec, run_validation, validation_grid
+
+TINY = TierSpec(
+    name="tiny",
+    description="two points per scheme, unit-test sized",
+    schemes=("conventional", "proposed"),
+    loads=(1.0,),
+    seeds=(1,),
+    sim_time=6.0,
+    warmup=1.0,
+    fig5_populations=((1, 1),),
+    fig5_sim_time=4.0,
+)
+
+
+class TestValidationGrid:
+    def test_grid_carries_the_requested_engine(self):
+        grid = validation_grid(TINY, "batched")
+        assert len(grid) == TINY.grid_points
+        assert all(cfg.engine == "batched" for cfg in grid)
+        assert all(cfg.monitor_invariants for cfg in grid)
+
+    def test_exact_grid_keys_are_engine_free(self):
+        grid = validation_grid(TINY, "exact")
+        assert all("engine" not in cfg.to_dict() for cfg in grid)
+
+
+class TestEngineDeltas:
+    @pytest.fixture(scope="class")
+    def batched_report(self):
+        return run_validation(TINY, engine="batched", include_fig5=False)
+
+    def test_report_tags_the_engine(self, batched_report):
+        assert batched_report.engine == "batched"
+        assert batched_report.to_dict()["engine"] == "batched"
+        assert "(engine=batched)" in batched_report.render()
+
+    def test_deltas_cover_every_claim(self, batched_report):
+        deltas = batched_report.claim_deltas
+        assert len(deltas) == len(batched_report.claims)
+        ids = {d["claim_id"] for d in deltas}
+        assert ids == {c.claim_id for c in batched_report.claims}
+
+    def test_delta_shape(self, batched_report):
+        for d in batched_report.claim_deltas:
+            assert set(d) == {
+                "claim_id", "engine_status", "exact_status", "changed"
+            }
+            assert d["changed"] == (d["engine_status"] != d["exact_status"])
+
+    def test_deltas_serialize_into_the_json_report(self, batched_report):
+        out = batched_report.to_dict()
+        assert out["claim_deltas"] == list(batched_report.claim_deltas)
+
+    def test_passed_reflects_engine_claims_only(self, batched_report):
+        # informational contract: the exact reference never gates
+        gating = [
+            c for c in batched_report.claims if c.status == "fail"
+        ]
+        assert batched_report.passed == (not gating)
+
+
+class TestExactReportsStayLean:
+    def test_exact_report_has_no_deltas(self):
+        report = run_validation(TINY, engine="exact", include_fig5=False)
+        assert report.engine == "exact"
+        assert report.claim_deltas == ()
+        assert "claim_deltas" not in report.to_dict()
+        assert "[delta]" not in report.render()
